@@ -1,0 +1,333 @@
+// Benchmarks regenerating the paper's tables.  One benchmark family per
+// table; each iteration runs a full workload and reports the VIRTUAL
+// makespan (the machine-independent number the experiments compare) as
+// virt-ms/op alongside Go's wall-clock ns/op.
+//
+//	go test -bench=. -benchmem
+//
+// For the full-size sweeps with formatted output, use cmd/haltables.
+package hal_test
+
+import (
+	"io"
+	"testing"
+	"time"
+
+	"hal"
+	"hal/internal/amnet"
+	"hal/internal/apps/cannon"
+	"hal/internal/apps/cholesky"
+	"hal/internal/apps/fib"
+	"hal/internal/apps/pagerank"
+	"hal/internal/apps/quad"
+	"hal/internal/bench"
+	"hal/internal/wsteal"
+)
+
+func quiet(nodes int, lb bool) hal.Config {
+	cfg := hal.DefaultConfig(nodes)
+	cfg.LoadBalance = lb
+	cfg.Out = io.Discard
+	cfg.StallTimeout = 60 * time.Second
+	return cfg
+}
+
+func reportVirtual(b *testing.B, total time.Duration) {
+	b.ReportMetric(float64(total)/float64(time.Millisecond)/float64(b.N), "virt-ms/op")
+}
+
+// --- Table 1: Cholesky decomposition -----------------------------------
+
+func benchCholesky(b *testing.B, nodes int, sync cholesky.Sync, mapping cholesky.Mapping, flow amnet.FlowMode) {
+	b.Helper()
+	var total time.Duration
+	for i := 0; i < b.N; i++ {
+		cfg := quiet(nodes, false)
+		cfg.Flow = flow
+		res, err := cholesky.Run(cfg, cholesky.Config{N: 256, B: 16, Sync: sync, Mapping: mapping}, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += res.Virtual
+	}
+	reportVirtual(b, total)
+}
+
+func BenchmarkTable1CholeskyBP(b *testing.B) {
+	benchCholesky(b, 4, cholesky.Pipelined, cholesky.Block, amnet.FlowOneActive)
+}
+func BenchmarkTable1CholeskyCP(b *testing.B) {
+	benchCholesky(b, 4, cholesky.Pipelined, cholesky.Cyclic, amnet.FlowOneActive)
+}
+func BenchmarkTable1CholeskySeq(b *testing.B) {
+	benchCholesky(b, 4, cholesky.GlobalSeq, cholesky.Cyclic, amnet.FlowOneActive)
+}
+func BenchmarkTable1CholeskyBcast(b *testing.B) {
+	benchCholesky(b, 4, cholesky.GlobalBcast, cholesky.Cyclic, amnet.FlowOneActive)
+}
+func BenchmarkTable1CholeskyCPNoFlowControl(b *testing.B) {
+	benchCholesky(b, 4, cholesky.Pipelined, cholesky.Cyclic, amnet.FlowEager)
+}
+
+// --- Table 2: runtime primitives ----------------------------------------
+
+func BenchmarkTable2LocalCreation(b *testing.B) {
+	m, err := hal.NewMachine(quiet(1, false))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := m.Run(func(ctx *hal.Context) {
+		beh := hal.BehaviorFunc(func(*hal.Context, *hal.Message) {})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ctx.New(beh)
+		}
+		b.StopTimer()
+	}); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkTable2LocalSend(b *testing.B) {
+	cfg := quiet(1, false)
+	cfg.InboxCap = 1 << 16
+	m, err := hal.NewMachine(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := m.Run(func(ctx *hal.Context) {
+		a := ctx.New(hal.BehaviorFunc(func(*hal.Context, *hal.Message) {}))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ctx.Send(a, 1)
+		}
+		b.StopTimer()
+	}); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkTable2SendFast(b *testing.B) {
+	m, err := hal.NewMachine(quiet(1, false))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := m.Run(func(ctx *hal.Context) {
+		a := ctx.New(hal.BehaviorFunc(func(*hal.Context, *hal.Message) {}))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ctx.SendFast(a, 1)
+		}
+		b.StopTimer()
+	}); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkTable2RemoteCreationAlias(b *testing.B) {
+	cfg := quiet(2, false)
+	cfg.InboxCap = 1 << 20
+	m, err := hal.NewMachine(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	typ := m.RegisterType("nop", func(args []any) hal.Behavior {
+		return hal.BehaviorFunc(func(*hal.Context, *hal.Message) {})
+	})
+	if _, err := m.Run(func(ctx *hal.Context) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ctx.NewOn(1, typ) // alias-visible cost only: no waiting
+		}
+		b.StopTimer()
+	}); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// --- Table 3: method invocation mechanisms ------------------------------
+
+func BenchmarkTable3GenericLocalSendDispatch(b *testing.B) {
+	// End to end: send + dispatcher + method, amortized over a quiescent
+	// run.
+	cfg := quiet(1, false)
+	cfg.InboxCap = 1 << 16
+	m, err := hal.NewMachine(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := m.Run(func(ctx *hal.Context) {
+		a := ctx.New(hal.BehaviorFunc(func(*hal.Context, *hal.Message) {}))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ctx.Send(a, 1)
+		}
+	}); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkTable3RemoteSendDispatch(b *testing.B) {
+	cfg := quiet(2, false)
+	cfg.InboxCap = 1 << 20
+	m, err := hal.NewMachine(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	typ := m.RegisterType("nop", func(args []any) hal.Behavior {
+		return hal.BehaviorFunc(func(*hal.Context, *hal.Message) {})
+	})
+	if _, err := m.Run(func(ctx *hal.Context) {
+		a := ctx.NewOn(1, typ)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ctx.Send(a, 1)
+		}
+	}); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// --- Table 4: Fibonacci with and without load balancing ------------------
+
+func benchFib(b *testing.B, nodes int, lb bool, place fib.Placement) {
+	b.Helper()
+	var total time.Duration
+	for i := 0; i < b.N; i++ {
+		res, err := fib.Run(quiet(nodes, lb), fib.Config{N: 18, GrainUS: 2, Place: place})
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += res.Virtual
+	}
+	reportVirtual(b, total)
+}
+
+func BenchmarkTable4FibNoBalancing(b *testing.B)     { benchFib(b, 4, false, fib.PlaceAuto) }
+func BenchmarkTable4FibRandomStatic(b *testing.B)    { benchFib(b, 4, false, fib.PlaceRandom) }
+func BenchmarkTable4FibDynamicBalance(b *testing.B)  { benchFib(b, 4, true, fib.PlaceAuto) }
+func BenchmarkTable4FibDynamicBalance8(b *testing.B) { benchFib(b, 8, true, fib.PlaceAuto) }
+
+func BenchmarkTable4FibSequentialGo(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if fib.Seq(18) != 2584 {
+			b.Fatal("wrong")
+		}
+	}
+}
+
+func BenchmarkTable4FibWorkStealingPool(b *testing.B) {
+	p := wsteal.New(4)
+	for i := 0; i < b.N; i++ {
+		if v, _ := fib.Pool(p, 18); v != 2584 {
+			b.Fatal("wrong")
+		}
+	}
+}
+
+// --- Table 5: systolic matrix multiplication ----------------------------
+
+// The cannon benches run the paper's N=1024 without the real arithmetic
+// (the virtual charges still model it); smaller N is communication-bound
+// on the CM-5 cost model and the grid cannot pay off.
+func benchCannon(b *testing.B, grid int) {
+	b.Helper()
+	var total time.Duration
+	for i := 0; i < b.N; i++ {
+		res, err := cannon.Run(quiet(grid*grid, false), cannon.Config{N: 1024, P: grid, SkipCompute: true}, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += res.Virtual
+	}
+	reportVirtual(b, total)
+}
+
+func BenchmarkTable5Cannon1x1(b *testing.B) { benchCannon(b, 1) }
+func BenchmarkTable5Cannon2x2(b *testing.B) { benchCannon(b, 2) }
+func BenchmarkTable5Cannon4x4(b *testing.B) { benchCannon(b, 4) }
+
+// --- Figure 3: the delivery algorithm under migration --------------------
+
+// BenchmarkFig3MigrationChase measures a send chasing a migration chain:
+// the old home holds the message, locates the actor with an FIR, and
+// releases it to the new home.
+func BenchmarkFig3MigrationChase(b *testing.B) {
+	var total time.Duration
+	for i := 0; i < b.N; i++ {
+		m, err := hal.NewMachine(quiet(4, false))
+		if err != nil {
+			b.Fatal(err)
+		}
+		typ := m.RegisterType("hopper", func(args []any) hal.Behavior {
+			return hal.BehaviorFunc(func(ctx *hal.Context, msg *hal.Message) {
+				switch msg.Sel {
+				case 1:
+					ctx.Migrate(msg.Int(0))
+				case 2:
+					ctx.Reply(msg, ctx.Node())
+				}
+			})
+		})
+		if _, err := m.Run(func(ctx *hal.Context) {
+			a := ctx.NewOn(1, typ)
+			for hop := 2; hop <= 3; hop++ {
+				ctx.Send(a, 1, hop)
+			}
+			j := ctx.NewJoin(1, func(ctx *hal.Context, slots []any) { ctx.Exit(slots[0]) })
+			ctx.Request(a, 2, j, 0)
+		}); err != nil {
+			b.Fatal(err)
+		}
+		total += m.VirtualTime()
+	}
+	reportVirtual(b, total)
+}
+
+// --- sanity: the full table harness stays runnable -----------------------
+
+func BenchmarkTablesHarnessSmall(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Table1(bench.Table1Config{N: 64, B: 16, Ps: []int{2}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Extension workloads (the conclusions' irregular/sparse classes) ----
+
+func BenchmarkIrregularQuadPartitioned(b *testing.B) {
+	var total time.Duration
+	for i := 0; i < b.N; i++ {
+		res, err := quad.Run(quiet(4, false), quad.Config{Eps: 1e-6, Place: quad.PlacePartitioned})
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += res.Virtual
+	}
+	reportVirtual(b, total)
+}
+
+func BenchmarkIrregularQuadDynamic(b *testing.B) {
+	var total time.Duration
+	for i := 0; i < b.N; i++ {
+		res, err := quad.Run(quiet(4, true), quad.Config{Eps: 1e-6, Place: quad.PlaceDynamic})
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += res.Virtual
+	}
+	reportVirtual(b, total)
+}
+
+func BenchmarkSparsePagerank(b *testing.B) {
+	var total time.Duration
+	for i := 0; i < b.N; i++ {
+		res, err := pagerank.Run(quiet(4, false), pagerank.Config{N: 2000, AvgDeg: 8, Iters: 10}, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += res.Virtual
+	}
+	reportVirtual(b, total)
+}

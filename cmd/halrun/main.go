@@ -1,0 +1,238 @@
+// Command halrun runs the evaluation workloads individually and reports
+// timing, statistics, and (where applicable) numerical verification.
+//
+// Usage:
+//
+//	halrun fib      [-n 20] [-nodes 4] [-lb] [-place dynamic|local|random]
+//	halrun quad     [-eps 1e-6] [-nodes 4] [-place dynamic|partitioned|random]
+//	halrun pagerank [-n 2000] [-deg 8] [-iters 20] [-nodes 4] [-verify]
+//	halrun cannon   [-n 240] [-grid 4] [-verify]
+//	halrun cholesky [-n 256] [-b 16] [-nodes 4] [-sync pipelined|seq|bcast]
+//	                [-map cyclic|block] [-flow one-active|ack-all|eager] [-verify]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hal"
+	"hal/internal/amnet"
+	"hal/internal/apps/cannon"
+	"hal/internal/apps/cholesky"
+	"hal/internal/apps/fib"
+	"hal/internal/apps/pagerank"
+	"hal/internal/apps/quad"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "fib":
+		err = runFib(os.Args[2:])
+	case "quad":
+		err = runQuad(os.Args[2:])
+	case "pagerank":
+		err = runPagerank(os.Args[2:])
+	case "cannon":
+		err = runCannon(os.Args[2:])
+	case "cholesky":
+		err = runCholesky(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "halrun:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: halrun {fib|quad|pagerank|cannon|cholesky} [flags]   (-h per subcommand)")
+	os.Exit(2)
+}
+
+func runFib(args []string) error {
+	fs := flag.NewFlagSet("fib", flag.ExitOnError)
+	n := fs.Int("n", 20, "fibonacci index")
+	nodes := fs.Int("nodes", 4, "simulated nodes")
+	lb := fs.Bool("lb", true, "dynamic load balancing")
+	place := fs.String("place", "dynamic", "child placement: dynamic, local, random")
+	grain := fs.Float64("grain", 1, "per-call compute in µs")
+	stats := fs.Bool("stats", false, "print runtime statistics")
+	_ = fs.Parse(args)
+
+	var p fib.Placement
+	switch *place {
+	case "dynamic":
+		p = fib.PlaceAuto
+	case "local":
+		p = fib.PlaceLocal
+	case "random":
+		p = fib.PlaceRandom
+	default:
+		return fmt.Errorf("unknown placement %q", *place)
+	}
+	cfg := hal.DefaultConfig(*nodes)
+	cfg.LoadBalance = *lb
+	res, err := fib.Run(cfg, fib.Config{N: *n, GrainUS: *grain, Place: p})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("fib(%d) = %d  (%d actor calls)\n", *n, res.Value, res.Calls)
+	fmt.Printf("nodes=%d lb=%v place=%s: virtual %v, wall %v\n", *nodes, *lb, p, res.Virtual, res.Wall)
+	if *stats {
+		fmt.Print(res.Stats)
+	}
+	return nil
+}
+
+func runQuad(args []string) error {
+	fs := flag.NewFlagSet("quad", flag.ExitOnError)
+	eps := fs.Float64("eps", 1e-6, "integration tolerance")
+	nodes := fs.Int("nodes", 4, "simulated nodes")
+	place := fs.String("place", "dynamic", "refinement placement: dynamic, partitioned, random")
+	stats := fs.Bool("stats", false, "print runtime statistics")
+	_ = fs.Parse(args)
+
+	var p quad.Placement
+	lb := false
+	switch *place {
+	case "dynamic":
+		p, lb = quad.PlaceDynamic, true
+	case "partitioned":
+		p = quad.PlacePartitioned
+	case "random":
+		p = quad.PlaceRandom
+	default:
+		return fmt.Errorf("unknown placement %q", *place)
+	}
+	cfg := hal.DefaultConfig(*nodes)
+	cfg.LoadBalance = lb
+	res, err := quad.Run(cfg, quad.Config{Eps: *eps, Place: p})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("∫ sin(1/(x+1e-3)) dx over [0,1] = %.9f  (error vs reference %.2g)\n", res.Value, res.Err)
+	fmt.Printf("nodes=%d place=%s: virtual %v, wall %v\n", *nodes, p, res.Virtual, res.Wall)
+	if *stats {
+		fmt.Print(res.Stats)
+	}
+	return nil
+}
+
+func runPagerank(args []string) error {
+	fs := flag.NewFlagSet("pagerank", flag.ExitOnError)
+	n := fs.Int("n", 2000, "vertices")
+	deg := fs.Int("deg", 8, "mean out-degree")
+	iters := fs.Int("iters", 20, "power iterations")
+	nodes := fs.Int("nodes", 4, "simulated nodes (= graph parts)")
+	verify := fs.Bool("verify", false, "check ranks against the sequential reference")
+	stats := fs.Bool("stats", false, "print runtime statistics")
+	_ = fs.Parse(args)
+
+	res, err := pagerank.Run(hal.DefaultConfig(*nodes), pagerank.Config{N: *n, AvgDeg: *deg, Iters: *iters}, *verify)
+	if err != nil {
+		return err
+	}
+	top, topRank := 0, 0.0
+	for i, r := range res.Ranks {
+		if r > topRank {
+			top, topRank = i, r
+		}
+	}
+	fmt.Printf("pagerank: %d vertices, %d iterations on %d parts: virtual %v, wall %v\n",
+		*n, *iters, *nodes, res.Virtual, res.Wall)
+	fmt.Printf("top vertex %d with rank %.6f\n", top, topRank)
+	if *verify {
+		fmt.Printf("max |rank - reference| = %g\n", res.MaxErr)
+	}
+	if *stats {
+		fmt.Print(res.Stats)
+	}
+	return nil
+}
+
+func runCannon(args []string) error {
+	fs := flag.NewFlagSet("cannon", flag.ExitOnError)
+	n := fs.Int("n", 240, "matrix dimension")
+	grid := fs.Int("grid", 4, "grid edge p (p*p nodes)")
+	verify := fs.Bool("verify", false, "check the product against the sequential reference")
+	stats := fs.Bool("stats", false, "print runtime statistics")
+	_ = fs.Parse(args)
+
+	res, err := cannon.Run(hal.DefaultConfig(*grid**grid), cannon.Config{N: *n, P: *grid}, *verify)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("cannon %dx%d on %dx%d grid: virtual %v (%.1f MFLOPS), wall %v\n",
+		*n, *n, *grid, *grid, res.Virtual, res.MFlops, res.Wall)
+	if *verify {
+		fmt.Printf("max |C - A*B| = %g\n", res.MaxErr)
+	}
+	if *stats {
+		fmt.Print(res.Stats)
+	}
+	return nil
+}
+
+func runCholesky(args []string) error {
+	fs := flag.NewFlagSet("cholesky", flag.ExitOnError)
+	n := fs.Int("n", 256, "matrix dimension")
+	b := fs.Int("b", 16, "panel width")
+	nodes := fs.Int("nodes", 4, "simulated nodes")
+	syncName := fs.String("sync", "pipelined", "synchronization: pipelined, seq, bcast")
+	mapName := fs.String("map", "cyclic", "panel mapping: cyclic, block")
+	flowName := fs.String("flow", "one-active", "bulk flow control: one-active, ack-all, eager")
+	verify := fs.Bool("verify", false, "check L*Lt against the input")
+	stats := fs.Bool("stats", false, "print runtime statistics")
+	_ = fs.Parse(args)
+
+	var sync cholesky.Sync
+	switch *syncName {
+	case "pipelined":
+		sync = cholesky.Pipelined
+	case "seq":
+		sync = cholesky.GlobalSeq
+	case "bcast":
+		sync = cholesky.GlobalBcast
+	default:
+		return fmt.Errorf("unknown sync %q", *syncName)
+	}
+	var mapping cholesky.Mapping
+	switch *mapName {
+	case "cyclic":
+		mapping = cholesky.Cyclic
+	case "block":
+		mapping = cholesky.Block
+	default:
+		return fmt.Errorf("unknown mapping %q", *mapName)
+	}
+	cfg := hal.DefaultConfig(*nodes)
+	switch *flowName {
+	case "one-active":
+		cfg.Flow = amnet.FlowOneActive
+	case "ack-all":
+		cfg.Flow = amnet.FlowAckAll
+	case "eager":
+		cfg.Flow = amnet.FlowEager
+	default:
+		return fmt.Errorf("unknown flow mode %q", *flowName)
+	}
+	res, err := cholesky.Run(cfg, cholesky.Config{N: *n, B: *b, Sync: sync, Mapping: mapping}, *verify)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("cholesky %dx%d (b=%d) %s/%s flow=%s on %d nodes: virtual %v, wall %v\n",
+		*n, *n, *b, sync, mapping, *flowName, *nodes, res.Virtual, res.Wall)
+	if *verify {
+		fmt.Printf("max |L*Lt - A| = %g\n", res.MaxErr)
+	}
+	if *stats {
+		fmt.Print(res.Stats)
+	}
+	return nil
+}

@@ -1,0 +1,130 @@
+// Command halsh is the front end's command interpreter: "Users are
+// provided with a simple command interpreter which communicates with the
+// front-end to load the executables" (§ 3).  It starts one simulated
+// partition and loads programs into it interactively; several can run
+// concurrently and each reports back when it quiesces.
+//
+//	$ go run ./cmd/halsh -nodes 8
+//	hal> fib 18
+//	hal> quad 1e-6
+//	hal> stats
+//	hal> quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"hal"
+	"hal/internal/apps/fib"
+	"hal/internal/apps/quad"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 4, "simulated nodes in the partition")
+	flag.Parse()
+
+	cfg := hal.DefaultConfig(*nodes)
+	cfg.LoadBalance = true
+	m, err := hal.NewMachine(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "halsh:", err)
+		os.Exit(1)
+	}
+	fibType := fib.Register(m, fib.Config{GrainUS: 2}, nil)
+	quadType := quad.Register(m, quad.Config{})
+	if err := m.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "halsh:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("partition of %d nodes up; programs: fib N, quad EPS; also stats, quit\n", *nodes)
+	var wg sync.WaitGroup
+	progNo := 0
+	launch := func(label string, root func(ctx *hal.Context)) {
+		progNo++
+		id := progNo
+		p, err := m.Launch(root)
+		if err != nil {
+			fmt.Println("load failed:", err)
+			return
+		}
+		fmt.Printf("[%d] %s loaded\n", id, label)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			start := time.Now()
+			v, err := p.Wait()
+			if err != nil {
+				fmt.Printf("[%d] %s failed: %v\n", id, label, err)
+				return
+			}
+			fmt.Printf("[%d] %s = %v  (wall %v)\n", id, label, v, time.Since(start).Round(time.Microsecond))
+		}()
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Print("hal> ")
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			fmt.Print("hal> ")
+			continue
+		}
+		switch fields[0] {
+		case "fib":
+			n := 18
+			if len(fields) > 1 {
+				if v, err := strconv.Atoi(fields[1]); err == nil {
+					n = v
+				}
+			}
+			launch(fmt.Sprintf("fib(%d)", n), func(ctx *hal.Context) {
+				j := ctx.NewJoin(1, func(ctx *hal.Context, slots []any) { ctx.Exit(slots[0]) })
+				ctx.Request(ctx.NewAuto(fibType), fib.SelCompute, j, 0, n)
+			})
+		case "quad":
+			eps := 1e-6
+			if len(fields) > 1 {
+				if v, err := strconv.ParseFloat(fields[1], 64); err == nil {
+					eps = v
+				}
+			}
+			launch(fmt.Sprintf("quad(eps=%g)", eps), func(ctx *hal.Context) {
+				p := ctx.Nodes()
+				j := ctx.NewJoin(p, func(ctx *hal.Context, slots []any) {
+					sum := 0.0
+					for _, s := range slots {
+						sum += s.(float64)
+					}
+					ctx.Exit(sum)
+				})
+				w := 1.0 / float64(p)
+				for i := 0; i < p; i++ {
+					a := ctx.NewAuto(quadType)
+					ctx.Request(a, quad.SelCompute, j, i, float64(i)*w, float64(i+1)*w, eps/float64(p), 0)
+				}
+			})
+		case "stats":
+			fmt.Printf("virtual time so far: %v\n", m.VirtualTime())
+		case "quit", "exit":
+			wg.Wait()
+			m.Shutdown()
+			fmt.Println("partition down")
+			return
+		case "help":
+			fmt.Println("commands: fib N | quad EPS | stats | quit")
+		default:
+			fmt.Printf("unknown command %q (try help)\n", fields[0])
+		}
+		fmt.Print("hal> ")
+	}
+	wg.Wait()
+	m.Shutdown()
+}

@@ -1,0 +1,65 @@
+// Fibonacci: the paper's Table 4 workload written directly against the
+// public API.  Every call is an actor; children are deferred creations
+// that the receiver-initiated load balancer steals; sums fold upward
+// through join continuations.  Run it with and without -lb and compare
+// the virtual makespans.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"hal"
+)
+
+const selCompute hal.Selector = 1
+
+func main() {
+	n := flag.Int("n", 18, "fibonacci index")
+	nodes := flag.Int("nodes", 4, "simulated nodes")
+	lb := flag.Bool("lb", true, "dynamic load balancing")
+	flag.Parse()
+
+	cfg := hal.DefaultConfig(*nodes)
+	cfg.LoadBalance = *lb
+	m, err := hal.NewMachine(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var fibType hal.TypeID
+	fibType = m.RegisterType("fib", func(args []any) hal.Behavior {
+		return hal.BehaviorFunc(func(ctx *hal.Context, msg *hal.Message) {
+			ctx.Charge(2 * time.Microsecond) // the "arithmetic" of one call
+			k := msg.Int(0)
+			if k < 2 {
+				ctx.Reply(msg, k)
+				ctx.Die()
+				return
+			}
+			reply := *msg
+			j := ctx.NewJoin(2, func(ctx *hal.Context, slots []any) {
+				ctx.Reply(&reply, slots[0].(int)+slots[1].(int))
+			})
+			ctx.Request(ctx.NewAuto(fibType), selCompute, j, 0, k-1)
+			ctx.Request(ctx.NewAuto(fibType), selCompute, j, 1, k-2)
+			ctx.Die()
+		})
+	})
+
+	start := time.Now()
+	v, err := m.Run(func(ctx *hal.Context) {
+		j := ctx.NewJoin(1, func(ctx *hal.Context, slots []any) { ctx.Exit(slots[0]) })
+		ctx.Request(ctx.NewAuto(fibType), selCompute, j, 0, *n)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fib(%d) = %v\n", *n, v)
+	fmt.Printf("nodes=%d lb=%v: virtual %v, wall %v\n", *nodes, *lb, m.VirtualTime(), time.Since(start))
+	s := m.Stats()
+	fmt.Printf("creations=%d steals=%d/%d\n",
+		s.Total.CreatesLocal+s.Total.CreatesServed, s.Total.StealHits, s.Total.StealReqs)
+}

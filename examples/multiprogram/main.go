@@ -1,0 +1,79 @@
+// Multiprogram: § 3 of the paper — "the runtime system is designed to
+// concurrently execute multiple programs on the same partition ... the
+// kernel does not discriminate between actors created by different
+// programs."  Three programs are loaded through the front end while the
+// machine runs; each quiesces independently.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"hal"
+)
+
+const selWork hal.Selector = 1
+
+func main() {
+	cfg := hal.DefaultConfig(4)
+	cfg.LoadBalance = true
+	m, err := hal.NewMachine(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	worker := m.RegisterType("worker", func(args []any) hal.Behavior {
+		return hal.BehaviorFunc(func(ctx *hal.Context, msg *hal.Message) {
+			ctx.Charge(time.Duration(msg.Int(0)) * time.Microsecond)
+			ctx.Reply(msg, ctx.Node())
+			ctx.Die()
+		})
+	})
+
+	if err := m.Start(); err != nil {
+		log.Fatal(err)
+	}
+
+	load := func(name string, tasks, grainUS int) *hal.Program {
+		p, err := m.Launch(func(ctx *hal.Context) {
+			j := ctx.NewJoin(tasks, func(ctx *hal.Context, slots []any) {
+				perNode := map[int]int{}
+				for _, s := range slots {
+					perNode[s.(int)]++
+				}
+				ctx.Exit(fmt.Sprintf("%s: %d tasks spread as %v", name, tasks, perNode))
+			})
+			for i := 0; i < tasks; i++ {
+				ctx.Request(ctx.NewAuto(worker), selWork, j, i, grainUS)
+			}
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return p
+	}
+
+	// Three users' programs share the partition concurrently.
+	progs := []*hal.Program{
+		load("alpha", 40, 200),
+		load("beta", 25, 400),
+		load("gamma", 60, 100),
+	}
+	var wg sync.WaitGroup
+	for _, p := range progs {
+		wg.Add(1)
+		go func(p *hal.Program) {
+			defer wg.Done()
+			v, err := p.Wait()
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println(v)
+		}(p)
+	}
+	wg.Wait()
+	m.Shutdown()
+	fmt.Println("virtual makespan of the whole session:", m.VirtualTime())
+}

@@ -1,0 +1,3 @@
+module hal
+
+go 1.24

@@ -1,0 +1,336 @@
+// Package amnet simulates the CM-5 interconnect and its Active Messages
+// layer (CMAM) for the HAL runtime reproduction.
+//
+// A Network connects P endpoints, one per simulated processing element
+// (PE).  Each PE is driven by exactly one goroutine — the node kernel loop —
+// which is the only goroutine allowed to touch that endpoint's receive side.
+// The interconnect is a set of bounded channels, one inbox per endpoint,
+// giving FIFO delivery per (sender, receiver) pair and finite network
+// capacity: when a destination inbox is full the sender stalls, exactly the
+// back-pressure that motivates the paper's minimal flow control.
+//
+// As in CMAM, a message names a handler which runs to completion on the
+// receiving PE when the network is polled; handlers must never block.  Also
+// as in CMAM, a sender blocked on a full link polls its own inbox while it
+// waits, which guarantees freedom from deadlock as long as handlers do not
+// block.
+//
+// Bulk data does not fit in an active message, so it moves through the
+// three-phase transfer protocol in bulk.go (request, acknowledgment, data
+// segments), with the acknowledgment policy selectable to reproduce the
+// paper's flow-control experiment.
+package amnet
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// NodeID identifies a simulated processing element.  IDs are dense,
+// 0..P-1.  The front end is not a NodeID; it lives outside the network.
+type NodeID int32
+
+// NoNode is the invalid node id.
+const NoNode NodeID = -1
+
+// HandlerID names a registered active-message handler.  Handler tables are
+// identical on every node, mirroring the CM-5 model where the same
+// executable image is loaded on each PE.
+type HandlerID uint8
+
+// Packet is one active message.  Src and Dst are node ids; Handler selects
+// the function run on the destination PE.  U0..U3 are small word arguments
+// (CMAM messages carry a handler plus four words); Payload carries a
+// structured runtime-protocol body when the words are not enough, and Data
+// carries a bulk float payload delivered by the transfer protocol.
+type Packet struct {
+	Handler HandlerID
+	Src     NodeID
+	Dst     NodeID
+	U0      uint64
+	U1      uint64
+	U2      uint64
+	U3      uint64
+	// VT is the packet's virtual arrival time at the destination, in
+	// microseconds of simulated time (see package core's virtual
+	// clocks).  The network layer carries it untouched.
+	VT      float64
+	Payload any
+	Data    []float64
+}
+
+// Handler is an active-message handler.  It runs on the destination
+// endpoint's goroutine during a poll and must not block; it may send
+// packets and mutate node-local state only.
+type Handler func(ep *Endpoint, p Packet)
+
+// Config configures a Network.
+type Config struct {
+	// Nodes is the number of processing elements (must be >= 1).
+	Nodes int
+	// InboxCap is the capacity, in packets, of each endpoint's inbox.
+	// Small values create realistic network back-pressure.  Default 1024.
+	InboxCap int
+	// Flow selects the bulk-transfer acknowledgment policy.  Default
+	// FlowOneActive (the paper's minimal flow control).
+	Flow FlowMode
+	// SegWords is the number of float64 words per bulk data segment.
+	// Default 512 (4 KiB segments).
+	SegWords int
+}
+
+func (c *Config) applyDefaults() error {
+	if c.Nodes < 1 {
+		return fmt.Errorf("amnet: config needs at least 1 node, got %d", c.Nodes)
+	}
+	if c.InboxCap <= 0 {
+		c.InboxCap = 1024
+	}
+	if c.SegWords <= 0 {
+		c.SegWords = 512
+	}
+	if c.Flow < FlowOneActive || c.Flow > FlowEager {
+		return fmt.Errorf("amnet: invalid flow mode %d", c.Flow)
+	}
+	return nil
+}
+
+// Network is the simulated machine interconnect: P endpoints plus the
+// shared handler table.
+type Network struct {
+	cfg      Config
+	eps      []*Endpoint
+	handlers [256]Handler
+	sealed   atomic.Bool
+}
+
+// NewNetwork builds a network with the given configuration.  Handlers must
+// be registered before any endpoint sends or polls.
+func NewNetwork(cfg Config) (*Network, error) {
+	if err := cfg.applyDefaults(); err != nil {
+		return nil, err
+	}
+	nw := &Network{cfg: cfg}
+	nw.eps = make([]*Endpoint, cfg.Nodes)
+	for i := range nw.eps {
+		nw.eps[i] = &Endpoint{
+			id:    NodeID(i),
+			net:   nw,
+			inbox: make(chan Packet, cfg.InboxCap),
+		}
+		nw.eps[i].bulk.init(nw.eps[i])
+	}
+	registerBulkHandlers(nw)
+	return nw, nil
+}
+
+// Nodes returns the number of endpoints.
+func (nw *Network) Nodes() int { return len(nw.eps) }
+
+// Config returns the network configuration after defaulting.
+func (nw *Network) Config() Config { return nw.cfg }
+
+// Endpoint returns the endpoint for node id.
+func (nw *Network) Endpoint(id NodeID) *Endpoint {
+	return nw.eps[id]
+}
+
+// Register installs h under id on every node.  It panics if id is already
+// taken or if registration happens after traffic started; handler tables
+// are part of the loaded program image, not runtime state.
+func (nw *Network) Register(id HandlerID, h Handler) {
+	if nw.sealed.Load() {
+		panic("amnet: Register after network traffic started")
+	}
+	if nw.handlers[id] != nil {
+		panic(fmt.Sprintf("amnet: handler %d registered twice", id))
+	}
+	nw.handlers[id] = h
+}
+
+// Endpoint is one PE's attachment to the network.  All receive-side calls
+// (PollOne, PollAll, RecvBlock) and all Send calls must come from the
+// single goroutine that owns the node.
+type Endpoint struct {
+	id    NodeID
+	net   *Network
+	inbox chan Packet
+	bulk  bulkState
+	stats Stats
+
+	// depth guards against unbounded handler->send->poll->handler
+	// recursion when inboxes are saturated in both directions.
+	depth int
+}
+
+// ID returns the endpoint's node id.
+func (ep *Endpoint) ID() NodeID { return ep.id }
+
+// Net returns the owning network.
+func (ep *Endpoint) Net() *Network { return ep.net }
+
+// Stats returns a snapshot of this endpoint's counters.
+func (ep *Endpoint) Stats() Stats { return ep.stats }
+
+// maxPollDepth bounds reentrant polling from within Send.  Beyond this
+// depth Send stops draining its own inbox and spins on the destination
+// channel; the packets it would have drained are handled when the stack
+// unwinds.
+const maxPollDepth = 64
+
+// Send injects p into the network, stamping p.Src.  If the destination
+// inbox is full the sender polls its own inbox while waiting (the CMAM
+// discipline), so Send may execute handlers reentrantly.  Send never
+// fails; it blocks until the packet is accepted.
+func (ep *Endpoint) Send(p Packet) {
+	ep.net.sealed.Store(true)
+	p.Src = ep.id
+	dst := ep.net.eps[p.Dst]
+	ep.stats.Sent++
+	select {
+	case dst.inbox <- p:
+		return
+	default:
+	}
+	// Destination link full: poll while waiting.
+	ep.stats.SendStalls++
+	if ep.depth >= maxPollDepth {
+		// Too deep to keep draining reentrantly; block outright.  The
+		// destination PE polls on its own sends, so this cannot
+		// deadlock: some PE in any wait cycle is below the depth
+		// limit or has inbox room.
+		dst.inbox <- p
+		return
+	}
+	for {
+		select {
+		case dst.inbox <- p:
+			return
+		case q := <-ep.inbox:
+			ep.dispatch(q)
+		}
+	}
+}
+
+// TrySend injects p without ever blocking or polling.  It reports whether
+// the packet was accepted.  Used by the flow-controlled bulk path, which
+// prefers to requeue work rather than stall the PE.
+func (ep *Endpoint) TrySend(p Packet) bool {
+	ep.net.sealed.Store(true)
+	p.Src = ep.id
+	dst := ep.net.eps[p.Dst]
+	select {
+	case dst.inbox <- p:
+		ep.stats.Sent++
+		return true
+	default:
+		return false
+	}
+}
+
+func (ep *Endpoint) dispatch(p Packet) {
+	h := ep.net.handlers[p.Handler]
+	if h == nil {
+		panic(fmt.Sprintf("amnet: node %d received packet for unregistered handler %d", ep.id, p.Handler))
+	}
+	ep.stats.Received++
+	ep.depth++
+	h(ep, p)
+	ep.depth--
+}
+
+// PollOne handles at most one pending packet and reports whether it did.
+func (ep *Endpoint) PollOne() bool {
+	select {
+	case p := <-ep.inbox:
+		ep.dispatch(p)
+		return true
+	default:
+		return false
+	}
+}
+
+// PollAll drains and handles every packet currently queued, returning the
+// number handled.  Packets that arrive while draining are handled too.
+func (ep *Endpoint) PollAll() int {
+	n := 0
+	for ep.PollOne() {
+		n++
+	}
+	if n > 0 {
+		ep.stats.Polls++
+	}
+	// Polling is also the hook where deferred bulk work makes progress.
+	ep.bulk.pump(ep)
+	return n
+}
+
+// RecvBlock waits for one packet, handles it, and returns true.  It
+// returns false if stop closes or the timeout (if positive) expires first.
+// A zero or negative timeout means wait indefinitely.
+func (ep *Endpoint) RecvBlock(stop <-chan struct{}, timeout time.Duration) bool {
+	if timeout <= 0 {
+		select {
+		case p := <-ep.inbox:
+			ep.dispatch(p)
+			return true
+		case <-stop:
+			return false
+		}
+	}
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case p := <-ep.inbox:
+		ep.dispatch(p)
+		return true
+	case <-stop:
+		return false
+	case <-t.C:
+		return false
+	}
+}
+
+// Pending returns the number of packets waiting in the inbox.  Intended
+// for monitoring and tests.
+func (ep *Endpoint) Pending() int { return len(ep.inbox) }
+
+// PollDiscard removes one pending packet without running its handler and
+// reports whether one was removed.  Used during machine shutdown so peers
+// blocked injecting into this inbox can complete their sends and shut
+// down too.
+func (ep *Endpoint) PollDiscard() bool {
+	select {
+	case <-ep.inbox:
+		return true
+	default:
+		return false
+	}
+}
+
+// Stats counts endpoint traffic.  All fields are owned by the endpoint's
+// goroutine; read them only after the node has stopped or from the node
+// itself.
+type Stats struct {
+	Sent       uint64 // packets injected
+	Received   uint64 // packets handled
+	SendStalls uint64 // sends that found the destination link full
+	Polls      uint64 // PollAll calls that handled at least one packet
+	BulkSends  uint64 // bulk transfers initiated
+	BulkRecvs  uint64 // bulk transfers completed (receive side)
+	BulkWords  uint64 // float64 words received in bulk segments
+	BulkQueued uint64 // bulk requests that waited for a grant
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.Sent += other.Sent
+	s.Received += other.Received
+	s.SendStalls += other.SendStalls
+	s.Polls += other.Polls
+	s.BulkSends += other.BulkSends
+	s.BulkRecvs += other.BulkRecvs
+	s.BulkWords += other.BulkWords
+	s.BulkQueued += other.BulkQueued
+}

@@ -1,0 +1,125 @@
+package amnet
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// collectTree walks the tree rooted at root over p nodes and returns the
+// set of visited nodes and the maximum depth observed.
+func collectTree(root NodeID, p int) (map[NodeID]int, int) {
+	visited := map[NodeID]int{root: 0}
+	frontier := []NodeID{root}
+	maxDepth := 0
+	for len(frontier) > 0 {
+		n := frontier[0]
+		frontier = frontier[1:]
+		for _, c := range TreeChildren(nil, root, n, p) {
+			if _, dup := visited[c]; dup {
+				visited[c] = -1 // mark duplicate; caught by caller
+				continue
+			}
+			visited[c] = visited[n] + 1
+			if visited[c] > maxDepth {
+				maxDepth = visited[c]
+			}
+			frontier = append(frontier, c)
+		}
+	}
+	return visited, maxDepth
+}
+
+func TestTreeCoversAllNodesOnce(t *testing.T) {
+	for p := 1; p <= 67; p++ {
+		for root := 0; root < p; root++ {
+			visited, _ := collectTree(NodeID(root), p)
+			if len(visited) != p {
+				t.Fatalf("p=%d root=%d: tree reached %d nodes, want %d", p, root, len(visited), p)
+			}
+			for n, d := range visited {
+				if d < 0 {
+					t.Fatalf("p=%d root=%d: node %d reached twice", p, root, n)
+				}
+			}
+		}
+	}
+}
+
+func TestTreeDepthLogarithmic(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 4, 7, 8, 16, 31, 32, 64, 100, 128} {
+		_, depth := collectTree(0, p)
+		logCeil := 0
+		for 1<<logCeil < p {
+			logCeil++
+		}
+		if depth > logCeil {
+			t.Errorf("p=%d: tree depth %d exceeds ceil(log2 p)=%d", p, depth, logCeil)
+		}
+	}
+}
+
+func TestTreeParentInvertsChildren(t *testing.T) {
+	for _, p := range []int{1, 2, 5, 8, 16, 33} {
+		for root := 0; root < p; root++ {
+			for self := 0; self < p; self++ {
+				for _, c := range TreeChildren(nil, NodeID(root), NodeID(self), p) {
+					if got := TreeParent(NodeID(root), c, p); got != NodeID(self) {
+						t.Fatalf("p=%d root=%d: parent(%d)=%d, want %d", p, root, c, got, self)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestTreeParentOfRootIsNoNode(t *testing.T) {
+	for _, p := range []int{1, 4, 9} {
+		for root := 0; root < p; root++ {
+			if got := TreeParent(NodeID(root), NodeID(root), p); got != NoNode {
+				t.Errorf("p=%d: parent of root %d = %d, want NoNode", p, root, got)
+			}
+		}
+	}
+}
+
+func TestTreeDepthMatchesWalk(t *testing.T) {
+	for _, p := range []int{1, 2, 8, 13, 32} {
+		for root := 0; root < p; root++ {
+			visited, _ := collectTree(NodeID(root), p)
+			for n, d := range visited {
+				if got := TreeDepth(NodeID(root), n, p); got != d {
+					t.Fatalf("p=%d root=%d node=%d: TreeDepth=%d, walk depth=%d", p, root, n, got, d)
+				}
+			}
+		}
+	}
+}
+
+// Property: for random (p, root), the tree is a spanning tree: p nodes, no
+// duplicates, and following parents from any node reaches the root.
+func TestTreeSpanningProperty(t *testing.T) {
+	f := func(pRaw uint8, rootRaw uint8) bool {
+		p := int(pRaw%96) + 1
+		root := NodeID(int(rootRaw) % p)
+		visited, _ := collectTree(root, p)
+		if len(visited) != p {
+			return false
+		}
+		for n := 0; n < p; n++ {
+			cur := NodeID(n)
+			for steps := 0; cur != root; steps++ {
+				if steps > p {
+					return false // cycle
+				}
+				cur = TreeParent(root, cur, p)
+				if cur == NoNode {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

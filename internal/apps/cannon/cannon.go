@@ -1,0 +1,247 @@
+// Package cannon implements the paper's systolic dense matrix
+// multiplication (Table 5): Cannon's algorithm on a p x p grid of block
+// actors.  "The systolic matrix multiplication algorithm involves first
+// skewing the blocks within a square processor grid, and then, cyclicly
+// shifting the blocks at each step.  No global synchronization is used in
+// the implementation.  Instead, per actor basis local synchronization is
+// used to enforce the necessary synchronization."
+//
+// Each grid position is a group member (grpnew); the initial skew is
+// applied by the distributor, and each step's shifts are bulk SendData
+// messages to the left/up neighbors, gated by local synchronization
+// constraints — a neighbor running one step ahead parks its shift in the
+// pending queue instead of corrupting the current step.  The local block
+// product stands in for von Eicken's assembly routine and is charged to
+// the virtual clock at a configurable per-flop cost.
+package cannon
+
+import (
+	"fmt"
+	"time"
+
+	"hal"
+	"hal/internal/linalg"
+)
+
+// Selectors of the block behavior.
+const (
+	// SelLoadA / SelLoadB deliver the pre-skewed initial blocks.
+	SelLoadA hal.Selector = iota + 1
+	SelLoadB
+	// SelShiftA / SelShiftB deliver a neighbor's block for the next step.
+	SelShiftA
+	SelShiftB
+	// SelBlock delivers a finished C block to the collector.
+	SelBlock
+)
+
+// Config parameterizes the workload.
+type Config struct {
+	// N is the matrix dimension.
+	N int
+	// P is the grid edge: P*P block actors; P must divide N.
+	P int
+	// FlopUS is the virtual cost of one floating-point operation in
+	// microseconds.  The default 0.15 µs/flop (~6.7 MFLOPS sustained
+	// dgemm) matches the paper's CM-5 nodes, whose best systolic run
+	// peaks at 434 MFLOPS on 64 of them.
+	FlopUS float64
+	// Seed drives input generation.
+	Seed int64
+	// SkipCompute skips the real block products (result unusable) so
+	// very large problems can be timed in virtual units quickly.
+	SkipCompute bool
+}
+
+func (c *Config) defaults() error {
+	if c.P <= 0 || c.N <= 0 {
+		return fmt.Errorf("cannon: need positive N and P, got N=%d P=%d", c.N, c.P)
+	}
+	if c.N%c.P != 0 {
+		return fmt.Errorf("cannon: N=%d not divisible by P=%d", c.N, c.P)
+	}
+	if c.FlopUS == 0 {
+		c.FlopUS = 0.15
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	return nil
+}
+
+// block is one grid position's behavior.
+type block struct {
+	cfg  Config
+	r, c int
+	p, b int
+	g    hal.Group
+	coll hal.Addr
+
+	a, bb, acc       *linalg.Matrix
+	nextA, nextB     []float64
+	loadedA, loadedB bool
+	step             int
+}
+
+// Enabled is the local synchronization constraint: a shift message stays
+// pending until the initial blocks are loaded and the previous shift has
+// been consumed.
+func (k *block) Enabled(sel hal.Selector) bool {
+	switch sel {
+	case SelShiftA:
+		return k.loadedA && k.loadedB && k.nextA == nil
+	case SelShiftB:
+		return k.loadedA && k.loadedB && k.nextB == nil
+	default:
+		return true
+	}
+}
+
+func (k *block) Receive(ctx *hal.Context, msg *hal.Message) {
+	switch msg.Sel {
+	case SelLoadA:
+		k.a = &linalg.Matrix{R: k.b, C: k.b, Data: msg.Data}
+		k.loadedA = true
+	case SelLoadB:
+		k.bb = &linalg.Matrix{R: k.b, C: k.b, Data: msg.Data}
+		k.loadedB = true
+	case SelShiftA:
+		k.nextA = msg.Data
+	case SelShiftB:
+		k.nextB = msg.Data
+	}
+	k.advance(ctx)
+}
+
+// advance runs every systolic step whose inputs are present.
+func (k *block) advance(ctx *hal.Context) {
+	if !k.loadedA || !k.loadedB {
+		return
+	}
+	for {
+		if k.step > 0 {
+			if k.nextA == nil || k.nextB == nil {
+				return // wait for the neighbors
+			}
+			k.a = &linalg.Matrix{R: k.b, C: k.b, Data: k.nextA}
+			k.bb = &linalg.Matrix{R: k.b, C: k.b, Data: k.nextB}
+			k.nextA, k.nextB = nil, nil
+		}
+		if !k.cfg.SkipCompute {
+			linalg.MulAdd(k.acc, k.a, k.bb)
+		}
+		ctx.Charge(time.Duration(float64(linalg.MulFlops(k.b, k.b, k.b)) * k.cfg.FlopUS * float64(time.Microsecond)))
+		k.step++
+		if k.step == k.p {
+			ctx.SendData(k.coll, SelBlock, k.acc.Data, k.r, k.c)
+			ctx.Die()
+			return
+		}
+		// Cyclic shift: A one position left, B one position up.
+		left := k.g.Member(k.r*k.p + (k.c-1+k.p)%k.p)
+		up := k.g.Member(((k.r-1+k.p)%k.p)*k.p + k.c)
+		ctx.SendData(left, SelShiftA, k.a.Data)
+		ctx.SendData(up, SelShiftB, k.bb.Data)
+	}
+}
+
+// collector assembles the C blocks and exits with the product.
+type collector struct {
+	b       int
+	out     *linalg.Matrix
+	pending int
+}
+
+func (col *collector) Receive(ctx *hal.Context, msg *hal.Message) {
+	r, c := msg.Int(0), msg.Int(1)
+	col.out.SetBlock(r*col.b, c*col.b, &linalg.Matrix{R: col.b, C: col.b, Data: msg.Data})
+	col.pending--
+	if col.pending == 0 {
+		ctx.Exit(col.out)
+		ctx.Die()
+	}
+}
+
+// Result reports one run.
+type Result struct {
+	N, P    int
+	Wall    time.Duration
+	Virtual time.Duration
+	MFlops  float64 // 2N^3 / virtual makespan
+	MaxErr  float64 // vs. the sequential reference; -1 if unverified
+	Stats   hal.MachineStats
+}
+
+// Run multiplies two random N x N matrices on a P x P systolic grid.
+// With verify set (and cfg.SkipCompute unset) the product is checked
+// against the sequential reference.
+func Run(mcfg hal.Config, cfg Config, verify bool) (Result, error) {
+	if err := cfg.defaults(); err != nil {
+		return Result{}, err
+	}
+	if verify && cfg.SkipCompute {
+		return Result{}, fmt.Errorf("cannon: cannot verify with SkipCompute set")
+	}
+	m, err := hal.NewMachine(mcfg)
+	if err != nil {
+		return Result{}, err
+	}
+	p, b := cfg.P, cfg.N/cfg.P
+	a := linalg.RandMatrix(cfg.N, cfg.N, cfg.Seed)
+	bm := linalg.RandMatrix(cfg.N, cfg.N, cfg.Seed+1)
+
+	blockType := m.RegisterType("cannon-block", func(args []any) hal.Behavior {
+		idx := args[0].(int)
+		k := &block{
+			cfg:  cfg,
+			r:    idx / p,
+			c:    idx % p,
+			p:    p,
+			b:    b,
+			g:    args[1].(hal.Group),
+			coll: args[2].(hal.Addr),
+		}
+		k.acc = linalg.NewMatrix(b, b)
+		return k
+	})
+
+	start := time.Now()
+	v, err := m.Run(func(ctx *hal.Context) {
+		col := ctx.New(&collector{b: b, out: linalg.NewMatrix(cfg.N, cfg.N), pending: p * p})
+		g := ctx.NewGroup(blockType, p*p, 0, col)
+		// Distribute the pre-skewed blocks: member (r,c) starts with
+		// A(r, c+r mod p) and B(r+c mod p, c).
+		for r := 0; r < p; r++ {
+			for c := 0; c < p; c++ {
+				member := g.Member(r*p + c)
+				ab := a.Block(r*b, ((c+r)%p)*b, b, b)
+				bb := bm.Block(((r+c)%p)*b, c*b, b, b)
+				ctx.SendData(member, SelLoadA, ab.Data)
+				ctx.SendData(member, SelLoadB, bb.Data)
+			}
+		}
+	})
+	wall := time.Since(start)
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{
+		N:       cfg.N,
+		P:       p,
+		Wall:    wall,
+		Virtual: m.VirtualTime(),
+		MaxErr:  -1,
+		Stats:   m.Stats(),
+	}
+	if res.Virtual > 0 {
+		res.MFlops = 2 * float64(cfg.N) * float64(cfg.N) * float64(cfg.N) / float64(res.Virtual.Microseconds())
+	}
+	if verify {
+		got, ok := v.(*linalg.Matrix)
+		if !ok {
+			return Result{}, fmt.Errorf("cannon: unexpected result %T", v)
+		}
+		res.MaxErr = linalg.MaxAbsDiff(got, linalg.Mul(a, bm))
+	}
+	return res, nil
+}

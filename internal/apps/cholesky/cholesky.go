@@ -1,0 +1,389 @@
+// Package cholesky implements the paper's Table 1 workload: blocked
+// right-looking Cholesky factorization with every variant the table
+// compares.
+//
+// A = L·Lᵀ is factored by column-block panels.  Panel j (columns j·b ..
+// (j+1)·b-1, rows j·b .. N-1) is one actor.  When panel j has absorbed
+// the updates from panels 0..j-1, it factors itself (block Cholesky of
+// the diagonal block, triangular solve below) and sends its result to
+// every later panel, which subtracts the rank-b update.
+//
+// Variants (the columns of Table 1):
+//
+//   - BP: pipelined with local synchronization, block mapping — panel j
+//     lives on node floor(j·P/nb).  Iteration i+1 starts before
+//     iteration i completes; ordering is enforced only by each actor's
+//     own dependence counting.
+//   - CP: identical but cyclic mapping, node j mod P.
+//   - Seq: global synchronization — a coordinator admits one iteration
+//     at a time: panel k factors only after every panel has confirmed
+//     applying update k-1 (data-parallel style), with point-to-point
+//     panel distribution.
+//   - Bcast: global synchronization with the factored panel distributed
+//     by group broadcast over the spanning tree.
+//
+// The paper's finding — local synchronization wins, and pipelining needs
+// the runtime's minimal flow control to deliver — is reproduced by
+// sweeping Sync and the machine's Flow mode.
+package cholesky
+
+import (
+	"fmt"
+	"time"
+
+	"hal"
+	"hal/internal/linalg"
+)
+
+// Selectors of the panel protocol.
+const (
+	// SelLoad delivers a panel's initial data.
+	SelLoad hal.Selector = iota + 1
+	// SelPanel delivers factored panel k (arg 0) to a later panel.
+	SelPanel
+	// SelMayFactor admits panel j to factor (global-sync modes).
+	SelMayFactor
+	// SelApplied confirms one update application to the coordinator.
+	SelApplied
+	// SelFactored confirms a factorization to the coordinator.
+	SelFactored
+	// SelDone carries a factored panel to the collector.
+	SelDone
+)
+
+// Sync selects the synchronization discipline.
+type Sync int
+
+const (
+	// Pipelined uses only local synchronization (BP/CP columns).
+	Pipelined Sync = iota
+	// GlobalSeq barriers every iteration, point-to-point distribution.
+	GlobalSeq
+	// GlobalBcast barriers every iteration, spanning-tree broadcast.
+	GlobalBcast
+)
+
+// String names the sync mode.
+func (s Sync) String() string {
+	switch s {
+	case Pipelined:
+		return "pipelined"
+	case GlobalSeq:
+		return "global-seq"
+	case GlobalBcast:
+		return "global-bcast"
+	default:
+		return "invalid"
+	}
+}
+
+// Mapping selects panel placement.
+type Mapping int
+
+const (
+	// Cyclic places panel j on node j mod P.
+	Cyclic Mapping = iota
+	// Block places panel j on node floor(j*P/nb).
+	Block
+)
+
+// String names the mapping.
+func (m Mapping) String() string {
+	if m == Block {
+		return "block"
+	}
+	return "cyclic"
+}
+
+// Config parameterizes the workload.
+type Config struct {
+	// N is the matrix dimension; B the panel (block) width; B must
+	// divide N.
+	N, B int
+	// Sync and Mapping select the Table 1 variant.  GlobalBcast ignores
+	// Mapping (group placement is cyclic).
+	Sync    Sync
+	Mapping Mapping
+	// FlopUS is the virtual cost per floating-point operation (default
+	// 0.15 µs/flop, the CM-5's ~6.7 MFLOPS per node).
+	FlopUS float64
+	// Seed drives input generation.
+	Seed int64
+}
+
+func (c *Config) defaults() error {
+	if c.N <= 0 || c.B <= 0 || c.N%c.B != 0 {
+		return fmt.Errorf("cholesky: need B dividing N, got N=%d B=%d", c.N, c.B)
+	}
+	if c.FlopUS == 0 {
+		c.FlopUS = 0.15
+	}
+	if c.Seed == 0 {
+		c.Seed = 7
+	}
+	return nil
+}
+
+// panel is the actor for one column block.
+type panel struct {
+	cfg   Config
+	j     int // panel index
+	nb    int // total panels
+	b     int
+	dest  func(j int) hal.Addr
+	g     hal.Group // set for group-created (Bcast) panels
+	useG  bool
+	coord hal.Addr
+	coll  hal.Addr
+
+	data      *linalg.Matrix // rows j*b..N-1 of columns j*b..(j+1)*b-1
+	loaded    bool
+	applied   int
+	mayFactor bool // global modes: admission received
+	factored  bool
+}
+
+// Enabled is the panel's local synchronization constraint: an update from
+// an earlier panel may race ahead of this panel's initial load (it took a
+// different network path), in which case it waits in the pending queue.
+func (p *panel) Enabled(sel hal.Selector) bool {
+	return sel != SelPanel || p.loaded
+}
+
+func (p *panel) charge(ctx *hal.Context, flops int) {
+	ctx.Charge(time.Duration(float64(flops) * p.cfg.FlopUS * float64(time.Microsecond)))
+}
+
+func (p *panel) Receive(ctx *hal.Context, msg *hal.Message) {
+	switch msg.Sel {
+	case SelLoad:
+		rows := (p.nb - p.j) * p.b
+		p.data = &linalg.Matrix{R: rows, C: p.b, Data: msg.Data}
+		p.loaded = true
+	case SelPanel:
+		k := msg.Int(0)
+		if p.j <= k || p.factored {
+			return // broadcast copy not meant for us
+		}
+		p.applyUpdate(ctx, k, msg.Data)
+	case SelMayFactor:
+		p.mayFactor = true
+	}
+	p.maybeFactor(ctx)
+}
+
+// applyUpdate subtracts the rank-b contribution of factored panel k.
+// wData is panel k's sub-diagonal rows (k+1 .. nb-1 block rows).
+func (p *panel) applyUpdate(ctx *hal.Context, k int, wData []float64) {
+	b := p.b
+	full := &linalg.Matrix{R: (p.nb - k - 1) * b, C: b, Data: wData}
+	off := (p.j - k - 1) * b
+	w := &linalg.Matrix{R: (p.nb - p.j) * b, C: b, Data: full.Data[off*b:]}
+	v := &linalg.Matrix{R: b, C: b, Data: full.Data[off*b : (off+b)*b]}
+	// A_j -= W * Vᵀ
+	vt := linalg.Transpose(v)
+	neg := linalg.Mul(w, vt)
+	for i := range p.data.Data {
+		p.data.Data[i] -= neg.Data[i]
+	}
+	p.charge(ctx, linalg.MulFlops(w.R, b, b))
+	p.applied++
+	if p.cfg.Sync != Pipelined {
+		ctx.Send(p.coord, SelApplied, k)
+	}
+}
+
+// maybeFactor factors once all earlier updates are in (and, under global
+// synchronization, the coordinator has admitted this iteration).
+func (p *panel) maybeFactor(ctx *hal.Context) {
+	if p.factored || !p.loaded || p.applied < p.j {
+		return
+	}
+	if p.cfg.Sync != Pipelined && !p.mayFactor {
+		return
+	}
+	b := p.b
+	diag := &linalg.Matrix{R: b, C: b, Data: p.data.Data[:b*b]}
+	if err := linalg.Cholesky(diag); err != nil {
+		panic(fmt.Sprintf("cholesky: panel %d: %v", p.j, err))
+	}
+	p.charge(ctx, linalg.CholeskyFlops(b))
+	below := &linalg.Matrix{R: p.data.R - b, C: b, Data: p.data.Data[b*b:]}
+	if below.R > 0 {
+		linalg.SolveXLt(below, diag)
+		p.charge(ctx, linalg.SolveXLtFlops(below.R, b))
+	}
+	p.factored = true
+
+	// Distribute the sub-diagonal rows to the later panels.
+	if below.R > 0 {
+		switch {
+		case p.useG:
+			// The whole group receives a tree broadcast; earlier
+			// panels ignore their copies.
+			ctx.BroadcastData(p.g, SelPanel, below.Data, p.j)
+		default:
+			for j := p.j + 1; j < p.nb; j++ {
+				ctx.SendData(p.dest(j), SelPanel, below.Data, p.j)
+			}
+
+		}
+	}
+	if p.cfg.Sync != Pipelined {
+		ctx.Send(p.coord, SelFactored, p.j)
+	}
+	// Hand the factored panel to the collector for assembly.
+	ctx.SendData(p.coll, SelDone, p.data.Data, p.j)
+	if p.cfg.Sync == Pipelined {
+		ctx.Die() // no broadcast copies will address us later
+	}
+}
+
+// coordinator enforces global synchronization: iteration k+1 begins only
+// after panel k factored and every later panel confirmed its update.
+type coordinator struct {
+	nb      int
+	dest    func(j int) hal.Addr
+	round   int
+	applied []int
+	facted  []bool
+}
+
+func (c *coordinator) Receive(ctx *hal.Context, msg *hal.Message) {
+	switch msg.Sel {
+	case SelApplied:
+		c.applied[msg.Int(0)]++
+	case SelFactored:
+		c.facted[msg.Int(0)] = true
+	}
+	for c.round < c.nb && c.facted[c.round] && c.applied[c.round] == c.nb-c.round-1 {
+		c.round++
+		if c.round < c.nb {
+			ctx.Send(c.dest(c.round), SelMayFactor)
+		}
+	}
+}
+
+// collectorB assembles the factored panels into L and exits.
+type collectorB struct {
+	n, b, nb int
+	out      *linalg.Matrix
+	pending  int
+}
+
+func (col *collectorB) Receive(ctx *hal.Context, msg *hal.Message) {
+	j := msg.Int(0)
+	rows := (col.nb - j) * col.b
+	blk := &linalg.Matrix{R: rows, C: col.b, Data: msg.Data}
+	for i := 0; i < rows; i++ {
+		copy(col.out.Data[(j*col.b+i)*col.n+j*col.b:(j*col.b+i)*col.n+(j+1)*col.b], blk.Data[i*col.b:(i+1)*col.b])
+	}
+	col.pending--
+	if col.pending == 0 {
+		ctx.Exit(col.out)
+		ctx.Die()
+	}
+}
+
+// Result reports one run.
+type Result struct {
+	N, B    int
+	Sync    Sync
+	Mapping Mapping
+	Wall    time.Duration
+	Virtual time.Duration
+	MaxErr  float64 // |L·Lᵀ − A|; -1 if unverified
+	Stats   hal.MachineStats
+}
+
+// Run factors a random SPD matrix under cfg and, when verify is set,
+// checks L·Lᵀ against the input.
+func Run(mcfg hal.Config, cfg Config, verify bool) (Result, error) {
+	if err := cfg.defaults(); err != nil {
+		return Result{}, err
+	}
+	m, err := hal.NewMachine(mcfg)
+	if err != nil {
+		return Result{}, err
+	}
+	nb := cfg.N / cfg.B
+	nodes := mcfg.Nodes
+	placement := func(j int) int {
+		if cfg.Mapping == Block {
+			return j * nodes / nb
+		}
+		return j % nodes
+	}
+
+	a := linalg.RandSPD(cfg.N, cfg.Seed)
+
+	// Panel behavior registration.  Two flavors share the struct: one
+	// constructed point-to-point (BP/CP/Seq) with an address table, one
+	// group-constructed (Bcast) that broadcasts through its group.
+	mkPanel := func(j int, dest func(int) hal.Addr, coord, coll hal.Addr) *panel {
+		return &panel{cfg: cfg, j: j, nb: nb, b: cfg.B, dest: dest, coord: coord, coll: coll}
+	}
+	panelType := m.RegisterType("chol-panel", func(args []any) hal.Behavior {
+		addrs := args[3].([]hal.Addr)
+		return mkPanel(args[0].(int), func(j int) hal.Addr { return addrs[j] }, args[1].(hal.Addr), args[2].(hal.Addr))
+	})
+	groupPanelType := m.RegisterType("chol-panel-g", func(args []any) hal.Behavior {
+		g := args[1].(hal.Group)
+		p := mkPanel(args[0].(int), func(j int) hal.Addr { return g.Member(j) }, args[2].(hal.Addr), args[3].(hal.Addr))
+		p.g, p.useG = g, true
+		return p
+	})
+
+	start := time.Now()
+	v, err := m.Run(func(ctx *hal.Context) {
+		coll := ctx.New(&collectorB{n: cfg.N, b: cfg.B, nb: nb, out: linalg.NewMatrix(cfg.N, cfg.N), pending: nb})
+		var coord hal.Addr = hal.Nil
+		var dest func(j int) hal.Addr
+		if cfg.Sync != Pipelined {
+			co := &coordinator{nb: nb, applied: make([]int, nb), facted: make([]bool, nb)}
+			// dest is assigned below; the closure reads it lazily, and
+			// the coordinator only runs after messages that causally
+			// follow the assignments.
+			co.dest = func(j int) hal.Addr { return dest(j) }
+			coord = ctx.New(co)
+		}
+		if cfg.Sync == GlobalBcast {
+			g := ctx.NewGroup(groupPanelType, nb, 0, coord, coll)
+			dest = func(j int) hal.Addr { return g.Member(j) }
+		} else {
+			// The shared address table is fully written before any
+			// message that could cause a panel to read it (loads are
+			// sent after this loop, and every dest() call is reached
+			// only through a causal chain from a load).
+			addrs := make([]hal.Addr, nb)
+			for j := 0; j < nb; j++ {
+				addrs[j] = ctx.NewOn(placement(j), panelType, j, coord, coll, addrs)
+			}
+			dest = func(j int) hal.Addr { return addrs[j] }
+		}
+		// Distribute the panels.
+		for j := 0; j < nb; j++ {
+			blk := a.Block(j*cfg.B, j*cfg.B, (nb-j)*cfg.B, cfg.B)
+			ctx.SendData(dest(j), SelLoad, blk.Data)
+		}
+		if cfg.Sync != Pipelined {
+			ctx.Send(dest(0), SelMayFactor)
+		}
+	})
+	wall := time.Since(start)
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{
+		N: cfg.N, B: cfg.B, Sync: cfg.Sync, Mapping: cfg.Mapping,
+		Wall: wall, Virtual: m.VirtualTime(), MaxErr: -1, Stats: m.Stats(),
+	}
+	if verify {
+		l, ok := v.(*linalg.Matrix)
+		if !ok {
+			return Result{}, fmt.Errorf("cholesky: unexpected result %T", v)
+		}
+		res.MaxErr = linalg.MaxAbsDiff(linalg.Mul(l, linalg.Transpose(l)), a)
+	}
+	return res, nil
+}

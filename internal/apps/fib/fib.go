@@ -1,0 +1,214 @@
+// Package fib is the Fibonacci workload of the paper's Table 4: "although
+// the Fibonacci number generator is a very simple program, it is extremely
+// concurrent ... its computation tree has a great deal of load imbalance."
+// Every call is an actor; child calls are deferred creations (NewAuto)
+// that the receiver-initiated random-polling balancer may steal, and sums
+// propagate upward through join continuations — the call/return
+// abstraction compiled to requests and replies.
+//
+// Three comparison points accompany the actor version, mirroring the
+// paper's: a plain sequential function (the "optimized C" analog), the
+// wsteal fork-join pool (the Cilk analog), and the actor version with
+// load balancing disabled.
+package fib
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"hal"
+	"hal/internal/wsteal"
+)
+
+// SelCompute asks a fib actor for fib(n); the reply carries the value.
+const SelCompute hal.Selector = 1
+
+// Placement selects where child calls are created.
+type Placement int
+
+const (
+	// PlaceAuto defers children to the dynamic load balancer (NewAuto).
+	PlaceAuto Placement = iota
+	// PlaceLocal creates children on the spawning node: no distribution
+	// at all.
+	PlaceLocal
+	// PlaceRandom scatters children on uniformly random nodes at
+	// creation time: static balancing, the classic alternative to
+	// receiver-initiated polling.
+	PlaceRandom
+)
+
+// String names the placement.
+func (p Placement) String() string {
+	switch p {
+	case PlaceAuto:
+		return "dynamic"
+	case PlaceLocal:
+		return "local"
+	case PlaceRandom:
+		return "random-static"
+	default:
+		return "invalid"
+	}
+}
+
+// Config parameterizes the workload.
+type Config struct {
+	// N is the Fibonacci index.
+	N int
+	// GrainUS is the virtual compute charged per call, in microseconds
+	// (the arithmetic a compiled HAL method would run besides the
+	// runtime primitives).  Default 1µs.
+	GrainUS float64
+	// Place selects child placement (default PlaceAuto).
+	Place Placement
+	// LocalChildren is a deprecated alias for Place == PlaceLocal.
+	LocalChildren bool
+}
+
+func (c *Config) defaults() {
+	if c.GrainUS == 0 {
+		c.GrainUS = 1
+	}
+	if c.LocalChildren {
+		c.Place = PlaceLocal
+	}
+}
+
+// behavior is one fib(n) call.
+type behavior struct {
+	cfg   Config
+	typ   hal.TypeID
+	calls *atomic.Int64
+}
+
+// Register installs the fib behavior type on m and returns its TypeID.
+// calls, if non-nil, counts actor invocations across the run.
+func Register(m *hal.Machine, cfg Config, calls *atomic.Int64) hal.TypeID {
+	cfg.defaults()
+	var typ hal.TypeID
+	typ = m.RegisterType("fib", func(args []any) hal.Behavior {
+		return &behavior{cfg: cfg, typ: typ, calls: calls}
+	})
+	return typ
+}
+
+func (b *behavior) Receive(ctx *hal.Context, msg *hal.Message) {
+	if b.calls != nil {
+		b.calls.Add(1)
+	}
+	ctx.Charge(time.Duration(b.cfg.GrainUS * float64(time.Microsecond)))
+	n := msg.Int(0)
+	if n < 2 {
+		ctx.Reply(msg, n)
+		ctx.Die()
+		return
+	}
+	reply := *msg // keep the continuation address beyond this method
+	j := ctx.NewJoin(2, func(ctx *hal.Context, slots []any) {
+		ctx.Reply(&reply, slots[0].(int)+slots[1].(int))
+	})
+	var l, r hal.Addr
+	switch b.cfg.Place {
+	case PlaceLocal:
+		l = ctx.NewType(b.typ)
+		r = ctx.NewType(b.typ)
+	case PlaceRandom:
+		l = ctx.NewOn(ctx.Rand().Intn(ctx.Nodes()), b.typ)
+		r = ctx.NewOn(ctx.Rand().Intn(ctx.Nodes()), b.typ)
+	default:
+		l = ctx.NewAuto(b.typ)
+		r = ctx.NewAuto(b.typ)
+	}
+	ctx.Request(l, SelCompute, j, 0, n-1)
+	ctx.Request(r, SelCompute, j, 1, n-2)
+	ctx.Die()
+}
+
+// Result reports one run's outcome.
+type Result struct {
+	Value   int
+	Calls   int64
+	Wall    time.Duration
+	Virtual time.Duration
+	Stats   hal.MachineStats
+}
+
+// Run executes fib(cfg.N) on a fresh machine with mcfg and returns the
+// measured result.
+func Run(mcfg hal.Config, cfg Config) (Result, error) {
+	cfg.defaults()
+	m, err := hal.NewMachine(mcfg)
+	if err != nil {
+		return Result{}, err
+	}
+	var calls atomic.Int64
+	typ := Register(m, cfg, &calls)
+	start := time.Now()
+	v, err := m.Run(func(ctx *hal.Context) {
+		var root hal.Addr
+		switch cfg.Place {
+		case PlaceLocal:
+			root = ctx.NewType(typ)
+		case PlaceRandom:
+			root = ctx.NewOn(ctx.Rand().Intn(ctx.Nodes()), typ)
+		default:
+			root = ctx.NewAuto(typ)
+		}
+		j := ctx.NewJoin(1, func(ctx *hal.Context, slots []any) {
+			ctx.Exit(slots[0])
+		})
+		ctx.Request(root, SelCompute, j, 0, cfg.N)
+		_ = root
+	})
+	wall := time.Since(start)
+	if err != nil {
+		return Result{}, err
+	}
+	value, ok := v.(int)
+	if !ok {
+		return Result{}, fmt.Errorf("fib: unexpected result %T", v)
+	}
+	return Result{
+		Value:   value,
+		Calls:   calls.Load(),
+		Wall:    wall,
+		Virtual: m.VirtualTime(),
+		Stats:   m.Stats(),
+	}, nil
+}
+
+// Seq is the sequential reference (the paper's "optimized C" analog).
+func Seq(n int) int {
+	if n < 2 {
+		return n
+	}
+	return Seq(n-1) + Seq(n-2)
+}
+
+// Pool computes fib(n) on a wsteal pool (the Cilk analog) and returns the
+// value with the wall time.
+func Pool(p *wsteal.Pool, n int) (int64, time.Duration) {
+	start := time.Now()
+	var result int64
+	var rec func(n int, dst *int64, done *wsteal.JoinCounter) wsteal.Task
+	rec = func(n int, dst *int64, done *wsteal.JoinCounter) wsteal.Task {
+		return func(w *wsteal.Worker) {
+			if n < 2 {
+				atomic.StoreInt64(dst, int64(n))
+				done.Arrive(w)
+				return
+			}
+			var a, b int64
+			sum := wsteal.NewJoin(2, func(w *wsteal.Worker) {
+				atomic.StoreInt64(dst, atomic.LoadInt64(&a)+atomic.LoadInt64(&b))
+				done.Arrive(w)
+			})
+			w.Spawn(rec(n-1, &a, sum))
+			w.Spawn(rec(n-2, &b, sum))
+		}
+	}
+	p.Run(rec(n, &result, wsteal.NewJoin(1, func(*wsteal.Worker) {})))
+	return atomic.LoadInt64(&result), time.Since(start)
+}

@@ -1,0 +1,96 @@
+package fib
+
+import (
+	"io"
+	"testing"
+	"time"
+
+	"hal"
+	"hal/internal/wsteal"
+)
+
+func quiet(nodes int, lb bool) hal.Config {
+	cfg := hal.DefaultConfig(nodes)
+	cfg.LoadBalance = lb
+	cfg.Out = io.Discard
+	cfg.StallTimeout = 20 * time.Second
+	return cfg
+}
+
+func TestSeqKnownValues(t *testing.T) {
+	want := []int{0, 1, 1, 2, 3, 5, 8, 13, 21, 34, 55, 89}
+	for n, w := range want {
+		if got := Seq(n); got != w {
+			t.Fatalf("Seq(%d)=%d want %d", n, got, w)
+		}
+	}
+}
+
+func TestActorFibCorrect(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 5, 10, 15} {
+		res, err := Run(quiet(2, true), Config{N: n})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if res.Value != Seq(n) {
+			t.Fatalf("fib(%d)=%d want %d", n, res.Value, Seq(n))
+		}
+	}
+}
+
+func TestActorFibCallCount(t *testing.T) {
+	// The call tree of fib(n) has 2*fib(n+1)-1 nodes.
+	res, err := Run(quiet(2, true), Config{N: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(2*Seq(13) - 1)
+	if res.Calls != want {
+		t.Fatalf("calls=%d want %d", res.Calls, want)
+	}
+}
+
+func TestActorFibNoLB(t *testing.T) {
+	res, err := Run(quiet(4, false), Config{N: 12, LocalChildren: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != Seq(12) {
+		t.Fatalf("got %d", res.Value)
+	}
+	if res.Stats.Total.StealHits != 0 {
+		t.Error("steals without load balancing")
+	}
+}
+
+// TestLoadBalancingImprovesMakespan is the Table 4 shape: same workload,
+// virtual makespan must drop substantially with balancing on 4 nodes.
+func TestLoadBalancingImprovesMakespan(t *testing.T) {
+	off, err := Run(quiet(4, false), Config{N: 14, GrainUS: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	on, err := Run(quiet(4, true), Config{N: 14, GrainUS: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if on.Value != off.Value || on.Value != Seq(14) {
+		t.Fatalf("values diverge: on=%d off=%d", on.Value, off.Value)
+	}
+	if on.Virtual >= off.Virtual {
+		t.Fatalf("LB on makespan %v not better than off %v", on.Virtual, off.Virtual)
+	}
+	if on.Virtual > off.Virtual/2 {
+		t.Errorf("LB speedup below 2x on 4 nodes: on=%v off=%v", on.Virtual, off.Virtual)
+	}
+}
+
+func TestPoolFibMatchesSeq(t *testing.T) {
+	p := wsteal.New(2)
+	for _, n := range []int{0, 1, 7, 16} {
+		v, _ := Pool(p, n)
+		if v != int64(Seq(n)) {
+			t.Fatalf("pool fib(%d)=%d want %d", n, v, Seq(n))
+		}
+	}
+}

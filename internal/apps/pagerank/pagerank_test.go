@@ -1,0 +1,99 @@
+package pagerank
+
+import (
+	"io"
+	"testing"
+	"time"
+
+	"hal"
+)
+
+func quiet(nodes int) hal.Config {
+	cfg := hal.DefaultConfig(nodes)
+	cfg.Out = io.Discard
+	cfg.StallTimeout = 30 * time.Second
+	return cfg
+}
+
+func TestSeqRanksSumToOne(t *testing.T) {
+	g := RandGraph(500, 6, 1)
+	ranks := Seq(g, 0.85, 30)
+	sum := 0.0
+	for _, r := range ranks {
+		sum += r
+	}
+	// Dangling-free graphs conserve mass up to the damping base term.
+	if sum < 0.5 || sum > 1.5 {
+		t.Fatalf("rank mass %v implausible", sum)
+	}
+}
+
+func TestActorMatchesSequential(t *testing.T) {
+	for _, nodes := range []int{1, 2, 4, 5} {
+		res, err := Run(quiet(nodes), Config{N: 600, AvgDeg: 5, Iters: 12}, true)
+		if err != nil {
+			t.Fatalf("nodes=%d: %v", nodes, err)
+		}
+		if res.MaxErr > 1e-12 {
+			t.Errorf("nodes=%d: max rank error %g", nodes, res.MaxErr)
+		}
+	}
+}
+
+func TestHubsRankHighest(t *testing.T) {
+	// The generator biases edges toward low ids; their ranks must
+	// dominate.
+	res, err := Run(quiet(4), Config{N: 800, AvgDeg: 6, Iters: 15}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lowSum, highSum := 0.0, 0.0
+	for i, r := range res.Ranks {
+		if i < 80 {
+			lowSum += r
+		} else if i >= 720 {
+			highSum += r
+		}
+	}
+	if lowSum <= 3*highSum {
+		t.Errorf("hub mass %v not dominant over tail %v", lowSum, highSum)
+	}
+}
+
+func TestScalesAcrossParts(t *testing.T) {
+	cfg := Config{N: 1500, AvgDeg: 8, Iters: 10, EdgeUS: 1}
+	v1, err := Run(quiet(1), cfg, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v4, err := Run(quiet(4), cfg, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v4.Virtual >= v1.Virtual {
+		t.Fatalf("no speedup: p=1 %v, p=4 %v", v1.Virtual, v4.Virtual)
+	}
+	// The skewed graph caps the speedup well below ideal: part 0 owns
+	// the hubs' in-traffic.
+	t.Logf("p=1 %v, p=4 %v (skew-limited)", v1.Virtual, v4.Virtual)
+}
+
+func TestPartRangeCoversAll(t *testing.T) {
+	for _, n := range []int{7, 100, 1501} {
+		for _, parts := range []int{1, 2, 3, 8} {
+			covered := 0
+			for p := 0; p < parts; p++ {
+				lo, hi := partRange(n, parts, p)
+				covered += hi - lo
+				for v := lo; v < hi; v++ {
+					if partOf(n, parts, v) != p {
+						t.Fatalf("partOf(%d) != %d", v, p)
+					}
+				}
+			}
+			if covered != n {
+				t.Fatalf("n=%d parts=%d covered %d", n, parts, covered)
+			}
+		}
+	}
+}

@@ -1,0 +1,224 @@
+// Package quad is an irregular dynamic workload: adaptive quadrature
+// (recursive Simpson integration with local error control).  The paper's
+// conclusions call for exactly this class — "dynamic, irregular
+// applications" where static placement cannot know the work distribution
+// in advance, the motivation for location transparency plus migration
+// ([28] in the paper).
+//
+// The integrand sin(1/(x+10⁻³)) on [0,1] oscillates a few hundred times,
+// almost all of them bunched near the left endpoint: the refinement tree
+// is WIDE there and shallow elsewhere.  A static decomposition that deals
+// sub-intervals to nodes owner-computes style concentrates nearly all
+// work on the node owning the leftmost slice, while receiver-initiated
+// balancing spreads the refinement as it unfolds.
+package quad
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"hal"
+)
+
+// SelCompute asks an interval actor for its integral; the reply carries a
+// float64.
+const SelCompute hal.Selector = 1
+
+// Placement selects where refinement children are created.
+type Placement int
+
+const (
+	// PlaceDynamic defers children to the load balancer (NewAuto).
+	PlaceDynamic Placement = iota
+	// PlacePartitioned pins the top-level sub-intervals to nodes
+	// owner-computes style; refinement stays on the owner.
+	PlacePartitioned
+	// PlaceRandom scatters every refinement on a random node.
+	PlaceRandom
+)
+
+// String names the placement.
+func (p Placement) String() string {
+	switch p {
+	case PlaceDynamic:
+		return "dynamic"
+	case PlacePartitioned:
+		return "partitioned"
+	case PlaceRandom:
+		return "random-static"
+	default:
+		return "invalid"
+	}
+}
+
+// Config parameterizes the workload.
+type Config struct {
+	// A, B is the integration interval (default [0, 1]).
+	A, B float64
+	// Eps is the absolute error tolerance (default 1e-7).
+	Eps float64
+	// GrainUS is the virtual cost of one interval evaluation (five
+	// integrand evaluations plus the error test).  Default 5 µs.
+	GrainUS float64
+	// Place selects child placement.
+	Place Placement
+	// MinDepth forces that many refinement levels even where the error
+	// test would stop, so the tree has a minimum width.  Default 3.
+	MinDepth int
+}
+
+func (c *Config) defaults() {
+	if c.B == 0 && c.A == 0 {
+		c.B = 1
+	}
+	if c.Eps == 0 {
+		c.Eps = 1e-7
+	}
+	if c.GrainUS == 0 {
+		c.GrainUS = 5
+	}
+	if c.MinDepth == 0 {
+		c.MinDepth = 3
+	}
+}
+
+// f is the integrand: sin(1/(x+c)) with c = 10⁻³, whose oscillations
+// crowd toward 0 so the adaptive recursion is wide exactly where a static
+// decomposition cannot know to put nodes.
+func f(x float64) float64 { return math.Sin(1 / (x + 1e-3)) }
+
+// Reference computes the integral of f over [a, b] with the sequential
+// adaptive routine at a tolerance well beyond the parallel runs'.
+func Reference(a, b float64) float64 {
+	return Seq(a, b, 1e-10)
+}
+
+// simpson returns the 3-point Simpson estimate on [a, b].
+func simpson(a, b float64) float64 {
+	return (b - a) / 6 * (f(a) + 4*f((a+b)/2) + f(b))
+}
+
+// interval is one refinement step's actor.
+type interval struct {
+	cfg Config
+	typ hal.TypeID
+}
+
+func (q *interval) Receive(ctx *hal.Context, msg *hal.Message) {
+	a, b := msg.Float(0), msg.Float(1)
+	eps := msg.Float(2)
+	depth := msg.Int(3)
+	ctx.Charge(time.Duration(q.cfg.GrainUS * float64(time.Microsecond)))
+
+	mid := (a + b) / 2
+	whole := simpson(a, b)
+	left, right := simpson(a, mid), simpson(mid, b)
+	if depth >= q.cfg.MinDepth && math.Abs(left+right-whole) <= 15*eps {
+		// Converged: Richardson correction, one shot.
+		ctx.Reply(msg, left+right+(left+right-whole)/15)
+		ctx.Die()
+		return
+	}
+	reply := *msg
+	j := ctx.NewJoin(2, func(ctx *hal.Context, slots []any) {
+		ctx.Reply(&reply, slots[0].(float64)+slots[1].(float64))
+	})
+	var la, ra hal.Addr
+	switch q.cfg.Place {
+	case PlacePartitioned:
+		la = ctx.NewType(q.typ) // refinement stays on the owner
+		ra = ctx.NewType(q.typ)
+	case PlaceRandom:
+		la = ctx.NewOn(ctx.Rand().Intn(ctx.Nodes()), q.typ)
+		ra = ctx.NewOn(ctx.Rand().Intn(ctx.Nodes()), q.typ)
+	default:
+		la = ctx.NewAuto(q.typ)
+		ra = ctx.NewAuto(q.typ)
+	}
+	ctx.Request(la, SelCompute, j, 0, a, mid, eps/2, depth+1)
+	ctx.Request(ra, SelCompute, j, 1, mid, b, eps/2, depth+1)
+	ctx.Die()
+}
+
+// Register installs the interval behavior on m.
+func Register(m *hal.Machine, cfg Config) hal.TypeID {
+	cfg.defaults()
+	var typ hal.TypeID
+	typ = m.RegisterType("quad", func(args []any) hal.Behavior {
+		return &interval{cfg: cfg, typ: typ}
+	})
+	return typ
+}
+
+// Result reports one run.
+type Result struct {
+	Value   float64
+	Err     float64 // |Value - exact|
+	Wall    time.Duration
+	Virtual time.Duration
+	Stats   hal.MachineStats
+}
+
+// Run integrates under cfg on a fresh machine with mcfg.
+func Run(mcfg hal.Config, cfg Config) (Result, error) {
+	cfg.defaults()
+	m, err := hal.NewMachine(mcfg)
+	if err != nil {
+		return Result{}, err
+	}
+	typ := Register(m, cfg)
+	start := time.Now()
+	v, err := m.Run(func(ctx *hal.Context) {
+		// Top-level split: P sub-intervals.  Under PlacePartitioned
+		// sub-interval i is pinned to node i (owner computes);
+		// otherwise the split just seeds the tree.
+		p := ctx.Nodes()
+		j := ctx.NewJoin(p, func(ctx *hal.Context, slots []any) {
+			sum := 0.0
+			for _, s := range slots {
+				sum += s.(float64)
+			}
+			ctx.Exit(sum)
+		})
+		w := (cfg.B - cfg.A) / float64(p)
+		for i := 0; i < p; i++ {
+			var a hal.Addr
+			switch cfg.Place {
+			case PlacePartitioned:
+				a = ctx.NewOn(i, typ)
+			case PlaceRandom:
+				a = ctx.NewOn(ctx.Rand().Intn(p), typ)
+			default:
+				a = ctx.NewAuto(typ)
+			}
+			ctx.Request(a, SelCompute, j, i, cfg.A+float64(i)*w, cfg.A+float64(i+1)*w, cfg.Eps/float64(p), 0)
+		}
+	})
+	wall := time.Since(start)
+	if err != nil {
+		return Result{}, err
+	}
+	value, ok := v.(float64)
+	if !ok {
+		return Result{}, fmt.Errorf("quad: unexpected result %T", v)
+	}
+	return Result{
+		Value:   value,
+		Err:     math.Abs(value - Reference(cfg.A, cfg.B)),
+		Wall:    wall,
+		Virtual: m.VirtualTime(),
+		Stats:   m.Stats(),
+	}, nil
+}
+
+// Seq is the sequential adaptive reference.
+func Seq(a, b, eps float64) float64 {
+	mid := (a + b) / 2
+	whole := simpson(a, b)
+	left, right := simpson(a, mid), simpson(mid, b)
+	if math.Abs(left+right-whole) <= 15*eps {
+		return left + right + (left+right-whole)/15
+	}
+	return Seq(a, mid, eps/2) + Seq(mid, b, eps/2)
+}

@@ -1,0 +1,70 @@
+package quad
+
+import (
+	"io"
+	"math"
+	"testing"
+	"time"
+
+	"hal"
+)
+
+func quiet(nodes int, lb bool) hal.Config {
+	cfg := hal.DefaultConfig(nodes)
+	cfg.LoadBalance = lb
+	cfg.Out = io.Discard
+	cfg.StallTimeout = 30 * time.Second
+	return cfg
+}
+
+func TestSeqConverges(t *testing.T) {
+	// The sequential routine must converge: tighter tolerances agree.
+	coarse := Seq(0, 1, 1e-6)
+	fine := Seq(0, 1, 1e-9)
+	if d := math.Abs(coarse - fine); d > 1e-4 {
+		t.Fatalf("adaptive routine inconsistent across tolerances: %g", d)
+	}
+}
+
+func TestActorQuadCorrectAllPlacements(t *testing.T) {
+	for _, place := range []Placement{PlaceDynamic, PlacePartitioned, PlaceRandom} {
+		lb := place == PlaceDynamic
+		res, err := Run(quiet(4, lb), Config{Eps: 1e-6, Place: place})
+		if err != nil {
+			t.Fatalf("%v: %v", place, err)
+		}
+		if res.Err > 1e-5 {
+			t.Errorf("%v: integration error %g", place, res.Err)
+		}
+	}
+}
+
+// TestIrregularityBeatsPartitioning: the skewed refinement tree makes the
+// owner-computes decomposition badly imbalanced; dynamic balancing must
+// win by a wide margin.
+func TestIrregularityBeatsPartitioning(t *testing.T) {
+	part, err := Run(quiet(4, false), Config{Eps: 1e-6, Place: PlacePartitioned})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dyn, err := Run(quiet(4, true), Config{Eps: 1e-6, Place: PlaceDynamic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dyn.Virtual >= part.Virtual {
+		t.Fatalf("dynamic %v not faster than partitioned %v", dyn.Virtual, part.Virtual)
+	}
+	if dyn.Virtual > part.Virtual*2/3 {
+		t.Errorf("dynamic advantage too small on an irregular tree: %v vs %v", dyn.Virtual, part.Virtual)
+	}
+}
+
+func TestQuadSingleNode(t *testing.T) {
+	res, err := Run(quiet(1, false), Config{Eps: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Err > 1e-5 {
+		t.Fatalf("error %g", res.Err)
+	}
+}

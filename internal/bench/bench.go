@@ -1,0 +1,46 @@
+// Package bench regenerates the paper's evaluation tables on the
+// simulated machine.  Each TableN function runs the corresponding
+// workload sweep, returns the measured series for programmatic checks,
+// and can render the same rows the paper reports.
+//
+// Scaling experiments (Tables 1, 4, 5) report VIRTUAL makespans — the
+// per-node virtual clocks are calibrated to the paper's Table 2
+// primitive costs, so shapes (who wins, crossover points) are
+// host-independent.  Microbenchmarks (Tables 2, 3) report real wall
+// time per operation on the host, next to the virtual cost model.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"hal"
+)
+
+// quiet builds a machine config for benchmarks.
+func quiet(nodes int, lb bool) hal.Config {
+	cfg := hal.DefaultConfig(nodes)
+	cfg.LoadBalance = lb
+	cfg.Out = io.Discard
+	cfg.StallTimeout = 60 * time.Second
+	return cfg
+}
+
+// ms formats a duration in milliseconds with paper-style precision.
+func ms(d time.Duration) string {
+	return fmt.Sprintf("%.2f", float64(d)/float64(time.Millisecond))
+}
+
+// sec formats a duration in seconds.
+func sec(d time.Duration) string {
+	return fmt.Sprintf("%.3f", d.Seconds())
+}
+
+// hr writes a separator line.
+func hr(w io.Writer, n int) {
+	for i := 0; i < n; i++ {
+		fmt.Fprint(w, "-")
+	}
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,180 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// The bench tests run each table at reduced size and assert the paper's
+// SHAPES: who wins and roughly by how much.
+
+func TestTable1Shape(t *testing.T) {
+	res, err := Table1(Table1Config{N: 128, B: 8, Ps: []int{2, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range res.Cfg.Ps {
+		// The paper's headline, holding the mapping fixed (cyclic):
+		// local synchronization (pipelined) beats global.
+		if res.CP[i] >= res.Seq[i] {
+			t.Errorf("P=%d: CP %v not faster than Seq %v", p, res.CP[i], res.Seq[i])
+		}
+		if res.CP[i] >= res.Bcast[i] {
+			t.Errorf("P=%d: CP %v not faster than Bcast %v", p, res.CP[i], res.Bcast[i])
+		}
+		// Flow control matters for the pipelined version.
+		if res.CP[i] >= res.CPNoFC[i] {
+			t.Errorf("P=%d: flow control did not help: %v vs %v", p, res.CP[i], res.CPNoFC[i])
+		}
+		// Cyclic mapping pipelines better than block mapping (BP keeps
+		// the whole factorization chain on one node at a time).
+		if res.CP[i] >= res.BP[i] {
+			t.Errorf("P=%d: CP %v not faster than BP %v", p, res.CP[i], res.BP[i])
+		}
+	}
+	var sb strings.Builder
+	res.Print(&sb)
+	if !strings.Contains(sb.String(), "Table 1") {
+		t.Error("Print produced no table")
+	}
+	t.Logf("\n%s", sb.String())
+}
+
+func TestTable2Shape(t *testing.T) {
+	res, err := Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Table2Row{}
+	for _, row := range res.Rows {
+		byName[row.Name] = row
+		if row.WallNS <= 0 {
+			t.Errorf("%s: non-positive wall time", row.Name)
+		}
+	}
+	// The alias path must be much cheaper than the full creation round
+	// trip — the paper's 5.83 vs 20.83 µs contrast.
+	alias := byName["remote creation (alias, requester-visible)"]
+	full := byName["remote creation + first use (round trip)"]
+	if alias.WallNS*2 > full.WallNS {
+		t.Errorf("alias creation (%v ns) not clearly cheaper than full round trip (%v ns)",
+			alias.WallNS, full.WallNS)
+	}
+	// The locality check is far cheaper than any send.
+	check := byName["locality check (name table hit)"]
+	send := byName["local send (generic, enqueue)"]
+	if check.WallNS*2 > send.WallNS {
+		t.Errorf("locality check (%v ns) not clearly cheaper than a send (%v ns)", check.WallNS, send.WallNS)
+	}
+	var sb strings.Builder
+	res.Print(&sb)
+	t.Logf("\n%s", sb.String())
+}
+
+func TestTable3Shape(t *testing.T) {
+	res, err := Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Table3Row{}
+	for _, row := range res.Rows {
+		byName[row.Name] = row
+	}
+	fast := byName["locality check + static dispatch (SendFast)"]
+	generic := byName["generic local send + dispatch (quiescent run)"]
+	call := byName["function call (Go, noinline)"]
+	// The compiler fast path sits between a plain call and the generic
+	// mechanism, much closer to the call (the point of § 6.3).
+	if fast.WallNS <= call.WallNS {
+		t.Errorf("SendFast (%v ns) implausibly cheaper than a function call (%v ns)", fast.WallNS, call.WallNS)
+	}
+	if fast.WallNS >= generic.WallNS {
+		t.Errorf("SendFast (%v ns) not cheaper than the generic send (%v ns)", fast.WallNS, generic.WallNS)
+	}
+	var sb strings.Builder
+	res.Print(&sb)
+	t.Logf("\n%s", sb.String())
+}
+
+func TestTable4Shape(t *testing.T) {
+	res, err := Table4(Table4Config{N: 14, Ps: []int{1, 4}, GrainUS: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unbalanced times are flat in P; dynamic balancing wins big at P=4.
+	if res.Balanced[1] >= res.Off[1] {
+		t.Errorf("P=4: dynamic LB %v not faster than LB off %v", res.Balanced[1], res.Off[1])
+	}
+	if res.Balanced[1] > res.Off[1]/2 {
+		t.Errorf("P=4: dynamic LB speedup below 2x: %v vs %v", res.Balanced[1], res.Off[1])
+	}
+	var sb strings.Builder
+	res.Print(&sb)
+	t.Logf("\n%s", sb.String())
+}
+
+func TestTable5Shape(t *testing.T) {
+	res, err := Table5(Table5Config{N: 64, Grids: []int{1, 2, 4}, FlopUS: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bigger grids run faster, MFLOPS grow.
+	for i := 1; i < len(res.Virtual); i++ {
+		if res.Virtual[i] >= res.Virtual[i-1] {
+			t.Errorf("grid %d not faster than grid %d: %v vs %v",
+				res.Cfg.Grids[i], res.Cfg.Grids[i-1], res.Virtual[i], res.Virtual[i-1])
+		}
+		if res.MFlops[i] <= res.MFlops[i-1] {
+			t.Errorf("MFLOPS not increasing at grid %d", res.Cfg.Grids[i])
+		}
+	}
+	var sb strings.Builder
+	res.Print(&sb)
+	t.Logf("\n%s", sb.String())
+}
+
+func TestAblationShapes(t *testing.T) {
+	ldc, err := AblateLDCache()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ldc.Baseline >= ldc.Ablated {
+		t.Errorf("LD caching did not pay: with=%v without=%v", ldc.Baseline, ldc.Ablated)
+	}
+	fir, err := AblateFIR()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fir.Baseline >= fir.Ablated {
+		t.Errorf("FIR did not beat naive forwarding: with=%v without=%v", fir.Baseline, fir.Ablated)
+	}
+	fp, err := AblateFastPath()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp.Baseline >= fp.Ablated {
+		t.Errorf("stack scheduling did not pay: with=%v without=%v", fp.Baseline, fp.Ablated)
+	}
+	var sb strings.Builder
+	suite := AblationSuite{Results: []AblationResult{ldc, fir, fp}}
+	suite.Print(&sb)
+	t.Logf("\n%s", sb.String())
+}
+
+func TestIrregularShape(t *testing.T) {
+	res, err := Irregular(IrregularConfig{Eps: 1e-6, Ps: []int{4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxErr > 1e-5 {
+		t.Errorf("integration error %g", res.MaxErr)
+	}
+	// The irregular tree defeats the owner-computes decomposition;
+	// dynamic balancing must beat it clearly.
+	if res.Balanced[0] >= res.Partitioned[0] {
+		t.Errorf("dynamic %v not faster than partitioned %v", res.Balanced[0], res.Partitioned[0])
+	}
+	var sb strings.Builder
+	res.Print(&sb)
+	t.Logf("\n%s", sb.String())
+}

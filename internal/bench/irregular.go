@@ -1,0 +1,78 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"hal/internal/apps/quad"
+)
+
+// IrregularConfig sizes the adaptive-quadrature sweep, the "dynamic,
+// irregular" workload class the paper's conclusions ask for.
+type IrregularConfig struct {
+	// Eps is the integration tolerance (smaller = bigger tree).
+	Eps float64
+	// Ps are the partition sizes.  Default {2, 4, 8}.
+	Ps []int
+}
+
+func (c *IrregularConfig) defaults() {
+	if c.Eps == 0 {
+		c.Eps = 1e-6
+	}
+	if len(c.Ps) == 0 {
+		c.Ps = []int{2, 4, 8}
+	}
+}
+
+// IrregularResult holds the measured series, indexed like cfg.Ps.
+type IrregularResult struct {
+	Cfg         IrregularConfig
+	Partitioned []time.Duration // owner-computes static decomposition
+	Random      []time.Duration // random static scatter
+	Balanced    []time.Duration // receiver-initiated dynamic balancing
+	MaxErr      float64
+}
+
+// Irregular sweeps placement strategies over an adaptive-quadrature tree
+// whose refinement crowds unpredictably into one region.
+func Irregular(cfg IrregularConfig) (IrregularResult, error) {
+	cfg.defaults()
+	res := IrregularResult{Cfg: cfg}
+	for _, p := range cfg.Ps {
+		r, err := quad.Run(quiet(p, false), quad.Config{Eps: cfg.Eps, Place: quad.PlacePartitioned})
+		if err != nil {
+			return res, fmt.Errorf("irregular p=%d partitioned: %w", p, err)
+		}
+		res.Partitioned = append(res.Partitioned, r.Virtual)
+		if r.Err > res.MaxErr {
+			res.MaxErr = r.Err
+		}
+		r, err = quad.Run(quiet(p, false), quad.Config{Eps: cfg.Eps, Place: quad.PlaceRandom})
+		if err != nil {
+			return res, fmt.Errorf("irregular p=%d random: %w", p, err)
+		}
+		res.Random = append(res.Random, r.Virtual)
+		r, err = quad.Run(quiet(p, true), quad.Config{Eps: cfg.Eps, Place: quad.PlaceDynamic})
+		if err != nil {
+			return res, fmt.Errorf("irregular p=%d dynamic: %w", p, err)
+		}
+		res.Balanced = append(res.Balanced, r.Virtual)
+		if r.Err > res.MaxErr {
+			res.MaxErr = r.Err
+		}
+	}
+	return res, nil
+}
+
+// Print renders the sweep.
+func (r IrregularResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "Irregular workload: adaptive quadrature, eps=%g (virtual msec)\n", r.Cfg.Eps)
+	fmt.Fprintf(w, "%4s %14s %14s %12s\n", "P", "partitioned", "random static", "dynamic LB")
+	hr(w, 50)
+	for i, p := range r.Cfg.Ps {
+		fmt.Fprintf(w, "%4d %14s %14s %12s\n", p, ms(r.Partitioned[i]), ms(r.Random[i]), ms(r.Balanced[i]))
+	}
+	fmt.Fprintf(w, "max integration error across runs: %.2g\n", r.MaxErr)
+}

@@ -1,0 +1,101 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"hal/internal/amnet"
+	"hal/internal/apps/cholesky"
+)
+
+// Table1Config sizes the Cholesky sweep.
+type Table1Config struct {
+	// N is the matrix dimension, B the panel width.  Defaults 256/16.
+	N, B int
+	// Ps are the partition sizes to sweep.  Default {2, 4, 8}.
+	Ps []int
+	// FlopUS overrides the per-flop virtual cost.
+	FlopUS float64
+}
+
+func (c *Table1Config) defaults() {
+	if c.N == 0 {
+		c.N = 256
+	}
+	if c.B == 0 {
+		c.B = 16
+	}
+	if len(c.Ps) == 0 {
+		c.Ps = []int{2, 4, 8}
+	}
+}
+
+// Table1Result holds the measured series, indexed like cfg.Ps.
+type Table1Result struct {
+	Cfg    Table1Config
+	BP     []time.Duration // pipelined, block mapping
+	CP     []time.Duration // pipelined, cyclic mapping
+	Seq    []time.Duration // global sync, point-to-point
+	Bcast  []time.Duration // global sync, tree broadcast
+	CPNoFC []time.Duration // CP without flow control (eager bulk)
+}
+
+// Table1 reproduces the paper's Table 1: Cholesky decomposition under
+// local vs global synchronization, block vs cyclic mapping, with and
+// without minimal flow control.
+func Table1(cfg Table1Config) (Table1Result, error) {
+	cfg.defaults()
+	res := Table1Result{Cfg: cfg}
+	runOne := func(p int, sync cholesky.Sync, mapping cholesky.Mapping, flow amnet.FlowMode) (time.Duration, error) {
+		mcfg := quiet(p, false)
+		mcfg.Flow = flow
+		r, err := cholesky.Run(mcfg, cholesky.Config{
+			N: cfg.N, B: cfg.B, Sync: sync, Mapping: mapping, FlopUS: cfg.FlopUS,
+		}, false)
+		if err != nil {
+			return 0, fmt.Errorf("table1 p=%d %v/%v: %w", p, sync, mapping, err)
+		}
+		return r.Virtual, nil
+	}
+	for _, p := range cfg.Ps {
+		v, err := runOne(p, cholesky.Pipelined, cholesky.Block, amnet.FlowOneActive)
+		if err != nil {
+			return res, err
+		}
+		res.BP = append(res.BP, v)
+		v, err = runOne(p, cholesky.Pipelined, cholesky.Cyclic, amnet.FlowOneActive)
+		if err != nil {
+			return res, err
+		}
+		res.CP = append(res.CP, v)
+		v, err = runOne(p, cholesky.GlobalSeq, cholesky.Cyclic, amnet.FlowOneActive)
+		if err != nil {
+			return res, err
+		}
+		res.Seq = append(res.Seq, v)
+		v, err = runOne(p, cholesky.GlobalBcast, cholesky.Cyclic, amnet.FlowOneActive)
+		if err != nil {
+			return res, err
+		}
+		res.Bcast = append(res.Bcast, v)
+		v, err = runOne(p, cholesky.Pipelined, cholesky.Cyclic, amnet.FlowEager)
+		if err != nil {
+			return res, err
+		}
+		res.CPNoFC = append(res.CPNoFC, v)
+	}
+	return res, nil
+}
+
+// Print renders the table in the paper's layout (msec rows per P), with
+// the extra no-flow-control column § 6.5 discusses.
+func (r Table1Result) Print(w io.Writer) {
+	fmt.Fprintf(w, "Table 1: Cholesky decomposition, N=%d B=%d (virtual msec)\n", r.Cfg.N, r.Cfg.B)
+	fmt.Fprintf(w, "%4s %10s %10s %10s %10s %12s\n", "P", "BP", "CP", "Seq", "Bcast", "CP(no FC)")
+	hr(w, 62)
+	for i, p := range r.Cfg.Ps {
+		fmt.Fprintf(w, "%4d %10s %10s %10s %10s %12s\n",
+			p, ms(r.BP[i]), ms(r.CP[i]), ms(r.Seq[i]), ms(r.Bcast[i]), ms(r.CPNoFC[i]))
+	}
+}

@@ -1,0 +1,96 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"hal/internal/apps/fib"
+	"hal/internal/wsteal"
+)
+
+// Table4Config sizes the Fibonacci sweep.
+type Table4Config struct {
+	// N is the Fibonacci index (paper: 33; default 20 for laptop runs).
+	N int
+	// Ps are the partition sizes.  Default {1, 2, 4, 8}.
+	Ps []int
+	// GrainUS is the per-call virtual compute.
+	GrainUS float64
+}
+
+func (c *Table4Config) defaults() {
+	if c.N == 0 {
+		c.N = 20
+	}
+	if len(c.Ps) == 0 {
+		c.Ps = []int{1, 2, 4, 8}
+	}
+	if c.GrainUS == 0 {
+		c.GrainUS = 1
+	}
+}
+
+// Table4Result holds the measured series, indexed like cfg.Ps.
+type Table4Result struct {
+	Cfg      Table4Config
+	Off      []time.Duration // same program, dynamic load balancing off
+	Random   []time.Duration // static random placement
+	Balanced []time.Duration // receiver-initiated dynamic load balancing
+	Calls    int64
+	Value    int
+	// Comparison points, as in the paper's prose (Cilk and optimized C
+	// on one processor): wall-clock on this host.
+	SeqWall  time.Duration
+	PoolWall time.Duration
+}
+
+// Table4 reproduces the paper's Table 4: Fibonacci with and without
+// dynamic load balancing.
+func Table4(cfg Table4Config) (Table4Result, error) {
+	cfg.defaults()
+	res := Table4Result{Cfg: cfg}
+	for _, p := range cfg.Ps {
+		// "Without load balancing" is the same program with the
+		// balancer disabled: deferred creations all execute where they
+		// were spawned.
+		r, err := fib.Run(quiet(p, false), fib.Config{N: cfg.N, GrainUS: cfg.GrainUS, Place: fib.PlaceAuto})
+		if err != nil {
+			return res, fmt.Errorf("table4 p=%d off: %w", p, err)
+		}
+		res.Off = append(res.Off, r.Virtual)
+		res.Calls, res.Value = r.Calls, r.Value
+
+		r, err = fib.Run(quiet(p, false), fib.Config{N: cfg.N, GrainUS: cfg.GrainUS, Place: fib.PlaceRandom})
+		if err != nil {
+			return res, fmt.Errorf("table4 p=%d random: %w", p, err)
+		}
+		res.Random = append(res.Random, r.Virtual)
+
+		r, err = fib.Run(quiet(p, true), fib.Config{N: cfg.N, GrainUS: cfg.GrainUS, Place: fib.PlaceAuto})
+		if err != nil {
+			return res, fmt.Errorf("table4 p=%d balanced: %w", p, err)
+		}
+		res.Balanced = append(res.Balanced, r.Virtual)
+	}
+	// Host-native comparison points.
+	t0 := time.Now()
+	fib.Seq(cfg.N)
+	res.SeqWall = time.Since(t0)
+	pool := wsteal.New(runtime.GOMAXPROCS(0))
+	_, res.PoolWall = fib.Pool(pool, cfg.N)
+	return res, nil
+}
+
+// Print renders the table.
+func (r Table4Result) Print(w io.Writer) {
+	fmt.Fprintf(w, "Table 4: Fibonacci(%d) — %d actor calls (virtual seconds)\n", r.Cfg.N, r.Calls)
+	fmt.Fprintf(w, "%4s %12s %14s %12s\n", "P", "without LB", "random static", "with LB")
+	hr(w, 48)
+	for i, p := range r.Cfg.Ps {
+		fmt.Fprintf(w, "%4d %12s %14s %12s\n", p, sec(r.Off[i]), sec(r.Random[i]), sec(r.Balanced[i]))
+	}
+	fmt.Fprintf(w, "comparison points on this host (wall): sequential Go %v, work-stealing pool %v\n",
+		r.SeqWall, r.PoolWall)
+}

@@ -1,0 +1,70 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"hal/internal/apps/cannon"
+)
+
+// Table5Config sizes the systolic matrix multiplication sweep.
+type Table5Config struct {
+	// N is the matrix dimension (default the paper's 1024 — on the
+	// CM-5 cost model smaller matrices are communication-bound and the
+	// grid does not pay off, which is exactly why the paper ran 1024).
+	N int
+	// Grids are the grid edges p (p*p nodes each).  Default {1, 2, 4, 8}.
+	Grids []int
+	// FlopUS overrides the per-flop virtual cost.
+	FlopUS float64
+	// SkipCompute skips the real arithmetic for very large N.
+	SkipCompute bool
+}
+
+func (c *Table5Config) defaults() {
+	if c.N == 0 {
+		c.N = 1024
+	}
+	if len(c.Grids) == 0 {
+		c.Grids = []int{1, 2, 4, 8}
+	}
+}
+
+// Table5Result holds the measured series, indexed like cfg.Grids.
+type Table5Result struct {
+	Cfg     Table5Config
+	Virtual []time.Duration
+	MFlops  []float64
+}
+
+// Table5 reproduces the paper's Table 5: systolic matrix multiplication
+// on p x p processor grids.
+func Table5(cfg Table5Config) (Table5Result, error) {
+	cfg.defaults()
+	res := Table5Result{Cfg: cfg}
+	for _, p := range cfg.Grids {
+		if cfg.N%p != 0 {
+			return res, fmt.Errorf("table5: N=%d not divisible by grid %d", cfg.N, p)
+		}
+		r, err := cannon.Run(quiet(p*p, false), cannon.Config{
+			N: cfg.N, P: p, FlopUS: cfg.FlopUS, SkipCompute: cfg.SkipCompute,
+		}, false)
+		if err != nil {
+			return res, fmt.Errorf("table5 grid=%d: %w", p, err)
+		}
+		res.Virtual = append(res.Virtual, r.Virtual)
+		res.MFlops = append(res.MFlops, r.MFlops)
+	}
+	return res, nil
+}
+
+// Print renders the table.
+func (r Table5Result) Print(w io.Writer) {
+	fmt.Fprintf(w, "Table 5: systolic matrix multiplication, %dx%d (virtual seconds)\n", r.Cfg.N, r.Cfg.N)
+	fmt.Fprintf(w, "%6s %8s %12s %10s\n", "grid", "nodes", "time (s)", "MFLOPS")
+	hr(w, 40)
+	for i, p := range r.Cfg.Grids {
+		fmt.Fprintf(w, "%3dx%-2d %8d %12s %10.1f\n", p, p, p*p, sec(r.Virtual[i]), r.MFlops[i])
+	}
+}

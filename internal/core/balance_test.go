@@ -1,0 +1,246 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// spinWork burns a little real CPU; most tests charge virtual time
+// instead (ctx.Charge), which works on hosts with any CPU count.
+func spinWork(units int) float64 {
+	x := 1.0001
+	for i := 0; i < units*1000; i++ {
+		x = x*1.000001 + 0.000001
+	}
+	return x
+}
+
+// TestLoadBalanceSteals: one node spawns many deferred creations; with
+// load balancing on, other nodes must steal and execute a share of them.
+func TestLoadBalanceSteals(t *testing.T) {
+	m := testMachine(t, Config{Nodes: 4, LoadBalance: true})
+	var perNode [4]atomic.Int64
+	var sink atomic.Value
+	sink.Store(0.0)
+	worker := m.RegisterType("worker", func(args []any) Behavior {
+		return &funcBehavior{f: func(ctx *Context, msg *Message) {
+			perNode[ctx.Node()].Add(1)
+			ctx.Charge(50 * time.Microsecond)
+			sink.Store(spinWork(5))
+			ctx.Die()
+		}}
+	})
+	run(t, m, func(ctx *Context) {
+		for i := 0; i < 400; i++ {
+			a := ctx.NewAuto(worker)
+			ctx.Send(a, selWork)
+		}
+	})
+	total := int64(0)
+	busy := 0
+	for i := range perNode {
+		v := perNode[i].Load()
+		total += v
+		if v > 0 {
+			busy++
+		}
+	}
+	if total != 400 {
+		t.Fatalf("executed %d tasks, want 400", total)
+	}
+	if busy < 2 {
+		t.Errorf("only %d node(s) executed work; stealing never spread load", busy)
+	}
+	s := m.Stats()
+	if s.Total.StealHits == 0 {
+		t.Error("no successful steals recorded")
+	}
+}
+
+// TestLoadBalanceOffStaysHome: without load balancing, deferred creations
+// run where they were spawned.
+func TestLoadBalanceOffStaysHome(t *testing.T) {
+	m := testMachine(t, Config{Nodes: 4, LoadBalance: false})
+	var perNode [4]atomic.Int64
+	worker := m.RegisterType("worker", func(args []any) Behavior {
+		return &funcBehavior{f: func(ctx *Context, msg *Message) {
+			perNode[ctx.Node()].Add(1)
+			ctx.Die()
+		}}
+	})
+	run(t, m, func(ctx *Context) {
+		for i := 0; i < 100; i++ {
+			a := ctx.NewAuto(worker)
+			ctx.Send(a, selWork)
+		}
+	})
+	if perNode[0].Load() != 100 {
+		t.Fatalf("node 0 ran %d, want all 100", perNode[0].Load())
+	}
+	if s := m.Stats(); s.Total.StealHits != 0 {
+		t.Errorf("steals happened with LoadBalance off: %d", s.Total.StealHits)
+	}
+}
+
+// TestStolenActorReachable: messages sent to a deferred creation's alias
+// arrive wherever the steal took it.
+func TestStolenActorReachable(t *testing.T) {
+	m := testMachine(t, Config{Nodes: 4, LoadBalance: true})
+	var delivered atomic.Int64
+	worker := m.RegisterType("worker", func(args []any) Behavior {
+		return &funcBehavior{f: func(ctx *Context, msg *Message) {
+			switch msg.Sel {
+			case selWork:
+				ctx.Charge(20 * time.Microsecond)
+			case selPong:
+				delivered.Add(1)
+			}
+		}}
+	})
+	run(t, m, func(ctx *Context) {
+		addrs := make([]Addr, 200)
+		for i := range addrs {
+			addrs[i] = ctx.NewAuto(worker)
+			ctx.Send(addrs[i], selWork)
+		}
+		// Second wave addressed by alias after the steals scattered them.
+		for _, a := range addrs {
+			ctx.Send(a, selPong)
+		}
+	})
+	if delivered.Load() != 200 {
+		t.Fatalf("second-wave deliveries=%d want 200", delivered.Load())
+	}
+}
+
+// TestRecursiveSpawnTree exercises the fib-like pattern: every task spawns
+// two more until a depth limit, across load-balanced nodes.
+func TestRecursiveSpawnTree(t *testing.T) {
+	m := testMachine(t, Config{Nodes: 4, LoadBalance: true})
+	var count atomic.Int64
+	var nodeTouched [4]atomic.Int64
+	var tid TypeID
+	tid = m.RegisterType("tree", func(args []any) Behavior {
+		depth := args[0].(int)
+		return &funcBehavior{f: func(ctx *Context, msg *Message) {
+			count.Add(1)
+			nodeTouched[ctx.Node()].Add(1)
+			ctx.Charge(100 * time.Microsecond)
+			if depth > 0 {
+				l := ctx.NewAuto(tid, depth-1)
+				r := ctx.NewAuto(tid, depth-1)
+				ctx.Send(l, selWork)
+				ctx.Send(r, selWork)
+			}
+			ctx.Die()
+		}}
+	})
+	run(t, m, func(ctx *Context) {
+		root := ctx.NewAuto(tid, 10)
+		ctx.Send(root, selWork)
+	})
+	want := int64(1<<11 - 1) // complete binary tree of depth 10
+	if count.Load() != want {
+		t.Fatalf("ran %d tasks, want %d", count.Load(), want)
+	}
+	busy := 0
+	for i := range nodeTouched {
+		if nodeTouched[i].Load() > 0 {
+			busy++
+		}
+	}
+	if busy < 2 {
+		t.Errorf("spawn tree never left node 0")
+	}
+}
+
+// TestBalancedFasterThanUnbalanced is the Table 4 shape in miniature: an
+// imbalanced workload must show a shorter VIRTUAL makespan with load
+// balancing than without (each task charges 400µs; 256 tasks on 4 nodes:
+// ideal 25.6ms balanced vs 102.4ms serial).
+func TestBalancedFasterThanUnbalanced(t *testing.T) {
+	elapsed := func(lb bool) time.Duration {
+		m := testMachine(t, Config{Nodes: 4, LoadBalance: lb})
+		worker := m.RegisterType("worker", func(args []any) Behavior {
+			return &funcBehavior{f: func(ctx *Context, msg *Message) {
+				ctx.Charge(400 * time.Microsecond)
+				ctx.Die()
+			}}
+		})
+		run(t, m, func(ctx *Context) {
+			for i := 0; i < 256; i++ {
+				ctx.Send(ctx.NewAuto(worker), selWork)
+			}
+		})
+		return m.VirtualTime()
+	}
+	on := elapsed(true)
+	off := elapsed(false)
+	if on >= off {
+		t.Fatalf("balanced makespan %v not better than serial %v", on, off)
+	}
+	// The paper reports near-linear improvement; allow generous slack.
+	if on > off*2/3 {
+		t.Errorf("balanced makespan %v, want well under serial %v", on, off)
+	}
+}
+
+// TestConcurrentStress mixes every mechanism at once across 8 nodes:
+// groups, broadcast, migration, steals, joins, die.  The assertion is
+// simply that all accounted work completes (quiescence without stall) and
+// totals match.
+func TestConcurrentStress(t *testing.T) {
+	m := testMachine(t, Config{Nodes: 8, LoadBalance: true, StallTimeout: 10 * time.Second})
+	var echoes atomic.Int64
+	var works atomic.Int64
+	var mu sync.Mutex
+	migrated := map[int]bool{}
+	member := m.RegisterType("member", func(args []any) Behavior {
+		idx := args[0].(int)
+		return &funcBehavior{f: func(ctx *Context, msg *Message) {
+			switch msg.Sel {
+			case selWork:
+				works.Add(1)
+			case selEcho:
+				echoes.Add(1)
+				ctx.Reply(msg, idx)
+			case selPing:
+				mu.Lock()
+				migrated[idx] = true
+				mu.Unlock()
+				ctx.Migrate(msg.Int(0))
+			}
+		}}
+	})
+	spawnee := m.RegisterType("spawnee", func(args []any) Behavior {
+		return &funcBehavior{f: func(ctx *Context, msg *Message) {
+			works.Add(1)
+			ctx.Die()
+		}}
+	})
+	run(t, m, func(ctx *Context) {
+		g := ctx.NewGroup(member, 24, 0)
+		ctx.Broadcast(g, selWork)
+		for i := 0; i < 24; i += 3 {
+			ctx.Send(g.Member(i), selPing, (i+5)%8)
+		}
+		ctx.Broadcast(g, selWork)
+		j := ctx.NewJoin(24, func(ctx *Context, slots []any) {
+			ctx.Broadcast(g, selWork)
+		})
+		for i := 0; i < 24; i++ {
+			ctx.Request(g.Member(i), selEcho, j, i)
+		}
+		for i := 0; i < 100; i++ {
+			ctx.Send(ctx.NewAuto(spawnee), selWork)
+		}
+	})
+	if echoes.Load() != 24 {
+		t.Errorf("echoes=%d want 24", echoes.Load())
+	}
+	if works.Load() != 24*3+100 {
+		t.Errorf("works=%d want %d", works.Load(), 24*3+100)
+	}
+}

@@ -1,0 +1,8 @@
+package core
+
+// BehaviorFunc adapts a plain function to the Behavior interface, for
+// small behaviors and tests.
+type BehaviorFunc func(ctx *Context, msg *Message)
+
+// Receive implements Behavior.
+func (f BehaviorFunc) Receive(ctx *Context, msg *Message) { f(ctx, msg) }

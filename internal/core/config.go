@@ -1,0 +1,152 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"hal/internal/amnet"
+)
+
+// Config configures a Machine.  The zero value is not valid; use
+// DefaultConfig or set Nodes explicitly.
+type Config struct {
+	// Nodes is the number of processing elements in the simulated
+	// partition.
+	Nodes int
+
+	// InboxCap is each node's network inbox capacity in packets; small
+	// values create realistic back-pressure.  Default 1024.
+	InboxCap int
+
+	// Flow selects the bulk-transfer flow-control policy (Table 1's
+	// "with/without flow control" experiment).  Default FlowOneActive.
+	Flow amnet.FlowMode
+
+	// SegWords is the bulk-transfer segment size in float64 words.
+	// Message Data payloads larger than this ride the three-phase
+	// protocol.  Default 512.
+	SegWords int
+
+	// LoadBalance enables receiver-initiated random-polling dynamic load
+	// balancing: idle nodes steal deferred creations (NewAuto) from
+	// random victims.
+	LoadBalance bool
+
+	// StealBackoff is the pause between steal attempts after a denial
+	// (receiver-initiated polling is otherwise continuous).  Default
+	// 20µs.
+	StealBackoff time.Duration
+
+	// FastPathDepth bounds the stack depth of SendFast's
+	// compiler-controlled stack-based scheduling; 0 disables the fast
+	// path entirely (every SendFast falls back to the generic send).
+	// Default 64.
+	FastPathDepth int
+
+	// DisableLDCache, when set, makes every remote send route through
+	// the receiver's birthplace instead of caching the remote locality
+	// descriptor's address (an ablation of § 4.1's caching).
+	DisableLDCache bool
+
+	// DisableCollective, when set, schedules each broadcast delivery as
+	// an individual task instead of running all local group members
+	// consecutively (an ablation of § 6.4's collective scheduling).
+	DisableCollective bool
+
+	// NaiveForwarding, when set, forwards the ENTIRE message along a
+	// migration chain hop by hop instead of holding it and locating the
+	// actor with a small FIR (an ablation of § 4.3: no cache repair, and
+	// bulk payloads are copied across every hop).
+	NaiveForwarding bool
+
+	// StallTimeout bounds how long the machine may sit with live work
+	// but every node parked and no traffic before Run fails with
+	// ErrStalled (a deadlocked constraint, or a message to a dead
+	// actor).  Default 5s; negative disables detection.
+	StallTimeout time.Duration
+
+	// Costs is the virtual-time cost model; the zero value selects the
+	// paper-calibrated defaults (see CostModel).
+	Costs CostModel
+
+	// NodeSpeed optionally scales each node's virtual execution rate, for
+	// simulating the heterogeneous networks of workstations the paper's
+	// conclusions point at: node i's charges are divided by NodeSpeed[i]
+	// (2.0 = twice as fast, 0.5 = half speed).  Empty means uniform.
+	NodeSpeed []float64
+
+	// PaceWindow bounds how far (in virtual time) a node may run ahead
+	// of the slowest busy node before pausing (see pace.go).  Zero
+	// selects the default: 500µs when LoadBalance is on, disabled
+	// otherwise.  Negative disables pacing explicitly.
+	PaceWindow time.Duration
+
+	// Seed seeds the per-node RNGs (placement, steal victims).  A zero
+	// seed selects a fixed default, keeping runs reproducible.
+	Seed int64
+
+	// Out receives front-end output (ctx.Printf).  Default os.Stdout.
+	Out io.Writer
+
+	// TraceBuffer, when positive, records up to this many kernel events
+	// per node (newest kept) for Machine.Trace.  Zero disables tracing.
+	TraceBuffer int
+}
+
+// DefaultConfig returns a configuration for nodes PEs with the paper's
+// defaults (flow control on, LD caching on, collective scheduling on, no
+// load balancing).
+func DefaultConfig(nodes int) Config {
+	return Config{Nodes: nodes}
+}
+
+func (c *Config) applyDefaults() error {
+	if c.Nodes < 1 {
+		return fmt.Errorf("core: config needs at least 1 node, got %d", c.Nodes)
+	}
+	if c.InboxCap <= 0 {
+		c.InboxCap = 1024
+	}
+	if c.SegWords <= 0 {
+		c.SegWords = 512
+	}
+	if c.FastPathDepth == 0 {
+		c.FastPathDepth = 64
+	}
+	if c.FastPathDepth < 0 {
+		c.FastPathDepth = 0
+	}
+	if c.StealBackoff <= 0 {
+		c.StealBackoff = 20 * time.Microsecond
+	}
+	if c.StallTimeout == 0 {
+		c.StallTimeout = 5 * time.Second
+	}
+	if len(c.NodeSpeed) > 0 {
+		if len(c.NodeSpeed) != c.Nodes {
+			return fmt.Errorf("core: NodeSpeed has %d entries for %d nodes", len(c.NodeSpeed), c.Nodes)
+		}
+		for i, s := range c.NodeSpeed {
+			if s <= 0 {
+				return fmt.Errorf("core: NodeSpeed[%d] = %v must be positive", i, s)
+			}
+		}
+	}
+	if c.Seed == 0 {
+		c.Seed = 0x1e3779b97f4a7c15
+	}
+	if c.Out == nil {
+		c.Out = os.Stdout
+	}
+	c.Costs.applyDefaults()
+	if c.PaceWindow == 0 {
+		if c.LoadBalance {
+			c.PaceWindow = 500 * time.Microsecond
+		} else {
+			c.PaceWindow = -1
+		}
+	}
+	return nil
+}

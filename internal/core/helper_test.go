@@ -1,0 +1,107 @@
+package core
+
+import (
+	"io"
+	"sync"
+	"testing"
+	"time"
+)
+
+// testMachine builds a machine for tests with quick stall detection and
+// quiet output.
+func testMachine(t *testing.T, cfg Config) *Machine {
+	t.Helper()
+	if cfg.StallTimeout == 0 {
+		cfg.StallTimeout = 2 * time.Second
+	}
+	if cfg.Out == nil {
+		cfg.Out = io.Discard
+	}
+	m, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// run executes root and fails the test on error.
+func run(t *testing.T, m *Machine, root func(ctx *Context)) any {
+	t.Helper()
+	v, err := m.Run(root)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return v
+}
+
+// probe collects values reported by actors across nodes, for assertions.
+type probe struct {
+	mu   sync.Mutex
+	vals []any
+}
+
+func (p *probe) add(v any) {
+	p.mu.Lock()
+	p.vals = append(p.vals, v)
+	p.mu.Unlock()
+}
+
+func (p *probe) len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.vals)
+}
+
+func (p *probe) snapshot() []any {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]any(nil), p.vals...)
+}
+
+// funcBehavior adapts a function to Behavior for concise tests.
+type funcBehavior struct {
+	f func(ctx *Context, msg *Message)
+}
+
+func (b *funcBehavior) Receive(ctx *Context, msg *Message) { b.f(ctx, msg) }
+
+// echoBehavior replies with its node id and records deliveries.
+type echoBehavior struct {
+	p *probe
+}
+
+const (
+	selEcho Selector = iota + 1
+	selPing
+	selPong
+	selInc
+	selGet
+	selStop
+	selWork
+	selInit
+	selValue
+)
+
+func (b *echoBehavior) Receive(ctx *Context, msg *Message) {
+	switch msg.Sel {
+	case selEcho:
+		b.p.add(ctx.Node())
+		ctx.Reply(msg, ctx.Node())
+	case selWork:
+		b.p.add(msg.Args[0])
+	}
+}
+
+// counterBehavior counts selInc messages and replies the count to selGet.
+type counterBehavior struct {
+	n int
+}
+
+func (b *counterBehavior) Receive(ctx *Context, msg *Message) {
+	switch msg.Sel {
+	case selInc:
+		b.n++
+	case selGet:
+		ctx.Reply(msg, b.n)
+	}
+}

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestJoinSingleSlot: the simplest call/return — one request, one reply.
+func TestJoinSingleSlot(t *testing.T) {
+	m := testMachine(t, Config{Nodes: 2})
+	doubler := m.RegisterType("doubler", func(args []any) Behavior {
+		return &funcBehavior{f: func(ctx *Context, msg *Message) {
+			ctx.Reply(msg, msg.Int(0)*2)
+		}}
+	})
+	v := run(t, m, func(ctx *Context) {
+		a := ctx.NewOn(1, doubler)
+		j := ctx.NewJoin(1, func(ctx *Context, slots []any) {
+			ctx.Exit(slots[0])
+		})
+		ctx.Request(a, selWork, j, 0, 21)
+	})
+	if v != 42 {
+		t.Fatalf("got %v want 42", v)
+	}
+}
+
+// TestJoinMultiSlot: independent requests share one continuation (the
+// compiler groups dependence-free sends, § 6.2); the function fires only
+// after every slot fills, with slots in declaration order.
+func TestJoinMultiSlot(t *testing.T) {
+	m := testMachine(t, Config{Nodes: 4})
+	ider := m.RegisterType("ider", func(args []any) Behavior {
+		return &funcBehavior{f: func(ctx *Context, msg *Message) {
+			ctx.Reply(msg, ctx.Node()*100+msg.Int(0))
+		}}
+	})
+	v := run(t, m, func(ctx *Context) {
+		j := ctx.NewJoin(4, func(ctx *Context, slots []any) {
+			sum := 0
+			for _, s := range slots {
+				sum += s.(int)
+			}
+			ctx.Exit(sum)
+		})
+		for i := 0; i < 4; i++ {
+			a := ctx.NewOn(i, ider)
+			ctx.Request(a, selWork, j, i, i)
+		}
+	})
+	want := 0 + 101 + 202 + 303
+	if v != want {
+		t.Fatalf("got %v want %d", v, want)
+	}
+}
+
+// TestJoinPresetSlots: slots whose values are known at creation are filled
+// with Set (Fig. 4 shows such pre-filled argument slots).
+func TestJoinPresetSlots(t *testing.T) {
+	m := testMachine(t, Config{Nodes: 2})
+	ider := m.RegisterType("ider", func(args []any) Behavior {
+		return &funcBehavior{f: func(ctx *Context, msg *Message) { ctx.Reply(msg, 5) }}
+	})
+	v := run(t, m, func(ctx *Context) {
+		j := ctx.NewJoin(3, func(ctx *Context, slots []any) {
+			ctx.Exit(slots[0].(int) + slots[1].(int) + slots[2].(int))
+		})
+		j.Set(0, 10)
+		j.Set(2, 30)
+		a := ctx.NewOn(1, ider)
+		ctx.Request(a, selWork, j, 1)
+	})
+	if v != 45 {
+		t.Fatalf("got %v want 45", v)
+	}
+}
+
+// TestJoinChained: continuations issuing further requests (the fib
+// pattern).
+func TestJoinChained(t *testing.T) {
+	m := testMachine(t, Config{Nodes: 2})
+	inc := m.RegisterType("inc", func(args []any) Behavior {
+		return &funcBehavior{f: func(ctx *Context, msg *Message) {
+			ctx.Reply(msg, msg.Int(0)+1)
+		}}
+	})
+	v := run(t, m, func(ctx *Context) {
+		a := ctx.NewOn(1, inc)
+		var chase func(ctx *Context, v int)
+		chase = func(ctx *Context, v int) {
+			if v >= 10 {
+				ctx.Exit(v)
+				return
+			}
+			j := ctx.NewJoin(1, func(ctx *Context, slots []any) {
+				chase(ctx, slots[0].(int))
+			})
+			ctx.Request(a, selWork, j, 0, v)
+		}
+		chase(ctx, 0)
+	})
+	if v != 10 {
+		t.Fatalf("got %v want 10", v)
+	}
+}
+
+// TestReplyFromJoinContinuation: a continuation can itself reply upward,
+// forming reply chains across nodes (how fib propagates sums).
+func TestReplyJoinPipeline(t *testing.T) {
+	m := testMachine(t, Config{Nodes: 3})
+	// leaf replies v+1; mid requests leaf and replies leaf's answer +100.
+	leaf := m.RegisterType("leaf", func(args []any) Behavior {
+		return &funcBehavior{f: func(ctx *Context, msg *Message) {
+			ctx.Reply(msg, msg.Int(0)+1)
+		}}
+	})
+	mid := m.RegisterType("mid", func(args []any) Behavior {
+		var leafAddr Addr
+		return &funcBehavior{f: func(ctx *Context, msg *Message) {
+			switch msg.Sel {
+			case selInit:
+				leafAddr = msg.Addr(0)
+			case selWork:
+				reply := *msg // capture reply descriptor by value
+				j := ctx.NewJoin(1, func(ctx *Context, slots []any) {
+					ctx.Reply(&reply, slots[0].(int)+100)
+				})
+				ctx.Request(leafAddr, selWork, j, 0, msg.Int(0))
+			}
+		}}
+	})
+	v := run(t, m, func(ctx *Context) {
+		l := ctx.NewOn(2, leaf)
+		md := ctx.NewOn(1, mid)
+		ctx.Send(md, selInit, l)
+		j := ctx.NewJoin(1, func(ctx *Context, slots []any) { ctx.Exit(slots[0]) })
+		ctx.Request(md, selWork, j, 0, 7)
+	})
+	if v != 108 {
+		t.Fatalf("got %v want 108", v)
+	}
+}
+
+// TestJoinOverfillPanics: filling more slots than declared is a bug.
+func TestJoinOverfillPanics(t *testing.T) {
+	m := testMachine(t, Config{Nodes: 1})
+	_, err := m.Run(func(ctx *Context) {
+		defer func() {
+			if recover() == nil {
+				t.Error("overfill did not panic")
+			}
+			ctx.ExitNow(nil)
+		}()
+		j := ctx.NewJoin(1, func(ctx *Context, slots []any) {})
+		j.Set(0, 1)
+		j.Set(0, 2)
+	})
+	_ = err
+}
+
+// TestJoinZeroSlotsPanics: a join continuation needs at least one slot.
+func TestJoinZeroSlotsPanics(t *testing.T) {
+	m := testMachine(t, Config{Nodes: 1})
+	_, _ = m.Run(func(ctx *Context) {
+		defer func() {
+			if recover() == nil {
+				t.Error("NewJoin(0) did not panic")
+			}
+			ctx.ExitNow(nil)
+		}()
+		ctx.NewJoin(0, func(ctx *Context, slots []any) {})
+	})
+}
+
+// TestReplyToPlainSendIsNoop: replying to a message that carried no
+// continuation address is silently dropped.
+func TestReplyToPlainSendIsNoop(t *testing.T) {
+	m := testMachine(t, Config{Nodes: 1})
+	p := &probe{}
+	run(t, m, func(ctx *Context) {
+		a := ctx.New(&funcBehavior{f: func(ctx *Context, msg *Message) {
+			ctx.Reply(msg, 1) // no-op
+			p.add("ran")
+		}})
+		ctx.Send(a, selWork)
+	})
+	if p.len() != 1 {
+		t.Fatal("actor did not run")
+	}
+}

@@ -1,0 +1,275 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hal/internal/amnet"
+)
+
+// ErrStalled is returned (wrapped) by Run when live work remains but every
+// node is parked with no traffic: a synchronization-constraint deadlock,
+// or messages routed to an actor that will never exist.
+var ErrStalled = errors.New("core: machine stalled with undeliverable work")
+
+// Machine is a simulated multicomputer partition running the HAL kernel on
+// every node.  Create one with NewMachine, register behavior types (the
+// analog of loading a program's executable on all nodes), then call Run.
+// A machine may Run several programs sequentially; actors created by
+// earlier runs persist, as they do in the paper's multi-program kernels.
+type Machine struct {
+	cfg   Config
+	nw    *amnet.Network
+	nodes []*node
+
+	types      []typeEntry
+	typeByName map[string]TypeID
+	costs      CostModel
+	pace       pacer
+
+	// live counts undone work: queued messages, held messages, deferred
+	// creations, scheduled continuations.  Quiescence (live == 0) ends a
+	// run.
+	live atomic.Int64
+	// beat bumps whenever any node makes progress; the stall monitor
+	// watches it.
+	beat   atomic.Uint64
+	parked atomic.Int32
+
+	running  atomic.Bool
+	stop     chan struct{}
+	stopOnce *sync.Once
+	draining atomic.Int32
+	wg       sync.WaitGroup
+
+	// frontEP is the front end's own network endpoint (the partition
+	// manager's attachment), used to inject program loads.
+	frontEP  *amnet.Endpoint
+	launchMu sync.Mutex
+	progSeq  atomic.Uint64
+
+	monDone   chan struct{}
+	monExited chan struct{}
+
+	mu        sync.Mutex // guards failed
+	failed    error
+	stallDump string
+
+	printMu sync.Mutex // serializes front-end output
+}
+
+// frontPrintf is the front end's I/O service: node kernels forward actor
+// output here, and the partition manager serializes it onto cfg.Out.
+func (m *Machine) frontPrintf(format string, args ...any) {
+	m.printMu.Lock()
+	defer m.printMu.Unlock()
+	fmt.Fprintf(m.cfg.Out, format, args...)
+}
+
+type typeEntry struct {
+	name string
+	ctor func(args []any) Behavior
+}
+
+// NewMachine builds a machine with cfg.
+func NewMachine(cfg Config) (*Machine, error) {
+	if err := cfg.applyDefaults(); err != nil {
+		return nil, err
+	}
+	// One endpoint per PE plus one for the front end (program loading).
+	nw, err := amnet.NewNetwork(amnet.Config{
+		Nodes:    cfg.Nodes + 1,
+		InboxCap: cfg.InboxCap,
+		Flow:     cfg.Flow,
+		SegWords: cfg.SegWords,
+	})
+	if err != nil {
+		return nil, err
+	}
+	m := &Machine{
+		cfg:        cfg,
+		nw:         nw,
+		costs:      cfg.Costs,
+		typeByName: make(map[string]TypeID),
+		types:      []typeEntry{{name: "<invalid>"}}, // TypeID 0 reserved
+	}
+	m.pace.init(cfg.Nodes, float64(cfg.PaceWindow)/float64(time.Microsecond))
+	m.nodes = make([]*node, cfg.Nodes)
+	for i := range m.nodes {
+		m.nodes[i] = newNode(m, amnet.NodeID(i))
+	}
+	m.frontEP = nw.Endpoint(amnet.NodeID(cfg.Nodes))
+	registerKernelHandlers(m)
+	return m, nil
+}
+
+// Nodes returns the partition size.
+func (m *Machine) Nodes() int { return m.cfg.Nodes }
+
+// Config returns the machine configuration after defaulting.
+func (m *Machine) Config() Config { return m.cfg }
+
+// RegisterType installs a behavior constructor under name on every node
+// and returns its TypeID.  This models the program load module: creation
+// requests and migrations carry (TypeID, args), never code.  Registration
+// must happen before Run; duplicate names panic.
+func (m *Machine) RegisterType(name string, ctor func(args []any) Behavior) TypeID {
+	if m.running.Load() {
+		panic("core: RegisterType while machine is running")
+	}
+	if _, dup := m.typeByName[name]; dup {
+		panic(fmt.Sprintf("core: behavior type %q registered twice", name))
+	}
+	if ctor == nil {
+		panic("core: nil behavior constructor")
+	}
+	id := TypeID(len(m.types))
+	m.types = append(m.types, typeEntry{name: name, ctor: ctor})
+	m.typeByName[name] = id
+	return id
+}
+
+// TypeByName returns the TypeID registered under name, or 0 if none.
+func (m *Machine) TypeByName(name string) TypeID { return m.typeByName[name] }
+
+func (m *Machine) construct(t TypeID, args []any) Behavior {
+	if t <= 0 || int(t) >= len(m.types) {
+		panic(fmt.Sprintf("core: unknown behavior type %d", t))
+	}
+	return m.types[t].ctor(args)
+}
+
+// rootBehavior runs a bootstrap function once.
+type rootBehavior struct {
+	fn func(ctx *Context)
+}
+
+func (r *rootBehavior) Receive(ctx *Context, _ *Message) {
+	r.fn(ctx)
+	ctx.Die()
+}
+
+// selRoot is the selector used for the bootstrap message.
+const selRoot Selector = -1
+
+// Run executes root as a single program: it starts the machine, loads the
+// program, waits for it to quiesce (Run returns its ctx.Exit value, or nil)
+// and shuts the machine down.  For several concurrent programs use
+// Start/Launch/Wait/Shutdown directly.
+func (m *Machine) Run(root func(ctx *Context)) (any, error) {
+	if err := m.Start(); err != nil {
+		return nil, err
+	}
+	prog, err := m.Launch(root)
+	if err != nil {
+		m.Shutdown()
+		return nil, err
+	}
+	v, werr := prog.Wait()
+	m.Shutdown()
+	if werr != nil {
+		return nil, werr
+	}
+	return v, nil
+}
+
+// finish stops every node; the first call wins.  The run's result is
+// whatever setResult recorded; err (if any) becomes Run's error.
+func (m *Machine) finish(err error) {
+	m.stopOnce.Do(func() {
+		if err != nil {
+			m.mu.Lock()
+			m.failed = err
+			m.mu.Unlock()
+		}
+		close(m.stop)
+	})
+}
+
+func (m *Machine) stopped() bool {
+	select {
+	case <-m.stop:
+		return true
+	default:
+		return false
+	}
+}
+
+// monitor detects stalls: live work remaining while every node is parked,
+// no packets are queued, and no progress happens across two consecutive
+// checks.
+func (m *Machine) monitor(stop <-chan struct{}, done <-chan struct{}) {
+	if m.cfg.StallTimeout < 0 {
+		return
+	}
+	interval := m.cfg.StallTimeout / 2
+	if interval < time.Millisecond {
+		interval = time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	var prevBeat uint64
+	strikes := 0
+	for {
+		select {
+		case <-done:
+			return
+		case <-stop:
+			return
+		case <-t.C:
+		}
+		beat := m.beat.Load()
+		live := m.live.Load()
+		quiet := true
+		if !m.cfg.LoadBalance {
+			// Without load balancing the machine is stalled only if
+			// every node is parked with empty inboxes; with it, steal
+			// polling keeps nodes and links busy forever, so the
+			// absence of task-execution progress (beat) decides alone.
+			quiet = m.parked.Load() == int32(len(m.nodes))
+			for _, n := range m.nodes {
+				if n.ep.Pending() > 0 {
+					quiet = false
+					break
+				}
+			}
+		}
+		if live > 0 && quiet && beat == prevBeat {
+			strikes++
+			if strikes >= 2 {
+				// Snapshot the kernels BEFORE shutdown purges them.
+				// The nodes are parked, but this read is technically
+				// racy; it is diagnostic text only.
+				m.stallDump = m.dumpLocked()
+				m.finish(fmt.Errorf("%w: %d work item(s) remain", ErrStalled, live))
+				return
+			}
+		} else {
+			strikes = 0
+		}
+		prevBeat = beat
+	}
+}
+
+// Stats snapshots per-node and aggregate statistics.  Call only while the
+// machine is not running.
+func (m *Machine) Stats() MachineStats {
+	if m.running.Load() {
+		panic("core: Stats while machine is running")
+	}
+	var out MachineStats
+	out.PerNode = make([]NodeStats, len(m.nodes))
+	for i, n := range m.nodes {
+		s := n.stats
+		s.Net = n.ep.Stats()
+		out.PerNode[i] = s
+		out.Total.add(s)
+	}
+	return out
+}
+
+// node returns node id's kernel; exported lookups go through Context.
+func (m *Machine) node(id amnet.NodeID) *node { return m.nodes[id] }

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"hal/internal/amnet"
+)
+
+// Multi-program execution (§ 3).
+//
+// "The runtime system is designed to concurrently execute multiple
+// programs on the same partition ... The kernel does not discriminate
+// between actors created by different programs.  Users are provided with
+// a simple command interpreter which communicates with the front-end to
+// load the executables."
+//
+// A Machine can therefore be started once and loaded with several
+// programs, each of which completes independently: every unit of work
+// (message, deferred creation, continuation, migration bundle) belongs
+// to the program whose actor produced it, and a program finishes when its
+// own work count drains — quiescence per program — while the machine and
+// the other programs keep running.  The front end injects program loads
+// through its own network endpoint, as the partition manager did.
+
+// Program is a handle to one loaded program.
+type Program struct {
+	id     uint64
+	m      *Machine
+	live   atomic.Int64
+	mu     sync.Mutex
+	result any
+	done   chan struct{}
+	once   sync.Once
+}
+
+// finishProg marks the program complete (idempotent).
+func (p *Program) finishProg() {
+	p.once.Do(func() { close(p.done) })
+}
+
+// setResult records the value Wait returns (ctx.Exit).
+func (p *Program) setResult(v any) {
+	p.mu.Lock()
+	p.result = v
+	p.mu.Unlock()
+}
+
+// Wait blocks until the program quiesces (or the machine stops) and
+// returns the program's result.
+func (p *Program) Wait() (any, error) {
+	select {
+	case <-p.done:
+	case <-p.m.stop:
+		// The machine stopped underneath us (Shutdown or stall).
+		p.m.mu.Lock()
+		err := p.m.failed
+		p.m.mu.Unlock()
+		if err == nil {
+			err = fmt.Errorf("core: machine shut down with program %d still running", p.id)
+		}
+		select {
+		case <-p.done:
+			// Completed in the same instant; prefer the result.
+		default:
+			return nil, err
+		}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.result, nil
+}
+
+// incLive accounts one unit of work for prog (and for the machine-wide
+// activity gauge the balancer and stall monitor use).
+func (m *Machine) incLive(prog *Program, n int64) {
+	m.live.Add(n)
+	prog.live.Add(n)
+}
+
+// decLive retires one unit; the decrement draining a program's count
+// completes that program.
+func (m *Machine) decLiveProg(prog *Program) {
+	if prog.live.Add(-1) == 0 {
+		prog.setDoneResult()
+	}
+	m.live.Add(-1)
+}
+
+// setDoneResult finishes the program at quiescence.
+func (p *Program) setDoneResult() {
+	p.finishProg()
+}
+
+// progLaunch is the front end's program-load request, served by node 0.
+type progLaunch struct {
+	prog *Program
+	fn   func(ctx *Context)
+}
+
+// Start boots the node kernels.  The machine then runs — serving programs
+// loaded with Launch — until Shutdown.  Run wraps
+// Start/Launch/Wait/Shutdown for the common single-program case.
+func (m *Machine) Start() error {
+	if m.running.Swap(true) {
+		return fmt.Errorf("core: machine already running")
+	}
+	m.stop = make(chan struct{})
+	m.stopOnce = new(sync.Once)
+	m.draining.Store(0)
+	m.parked.Store(0)
+	m.live.Store(0)
+	m.mu.Lock()
+	m.failed = nil
+	m.mu.Unlock()
+	m.stallDump = ""
+
+	for _, n := range m.nodes {
+		n.vclock = 0
+		n.events.reset()
+	}
+	m.pace.reset()
+
+	m.monDone = make(chan struct{})
+	m.monExited = make(chan struct{})
+	go func() {
+		defer close(m.monExited)
+		m.monitor(m.stop, m.monDone)
+	}()
+	m.wg.Add(len(m.nodes))
+	for _, n := range m.nodes {
+		go n.run()
+	}
+	return nil
+}
+
+// Launch loads a program: root runs as a method of a fresh actor on node
+// 0 (the paper's dynamically loaded executable's entry point).  The
+// machine must be started.
+func (m *Machine) Launch(root func(ctx *Context)) (*Program, error) {
+	if !m.running.Load() {
+		return nil, fmt.Errorf("core: Launch before Start")
+	}
+	prog := &Program{id: m.progSeq.Add(1), m: m, done: make(chan struct{})}
+	m.incLive(prog, 1) // the bootstrap message
+	// The front end injects the load through its own endpoint; node 0's
+	// kernel instantiates the root actor (program loading is node-manager
+	// work, like any other request).  Launches may come from several user
+	// goroutines; the endpoint itself is single-owner.
+	m.launchMu.Lock()
+	m.frontEP.Send(amnet.Packet{
+		Handler: hLoadProgram,
+		Dst:     0,
+		Payload: progLaunch{prog: prog, fn: root},
+	})
+	m.launchMu.Unlock()
+	return prog, nil
+}
+
+// Shutdown stops the node kernels.  In-flight work of still-running
+// programs is abandoned (their Wait returns an error).
+func (m *Machine) Shutdown() {
+	if !m.running.Load() {
+		return
+	}
+	m.finish(nil)
+	m.wg.Wait()
+	close(m.monDone)
+	<-m.monExited
+	m.running.Store(false)
+}
+
+// handleLoadProgram instantiates a program's root actor (on node 0).
+func (n *node) handleLoadProgram(pl progLaunch) {
+	a := n.createLocal(&rootBehavior{fn: pl.fn})
+	a.prog = pl.prog
+	msg := n.newMsg()
+	msg.To, msg.Sel, msg.Reply = a.addr, selRoot, invalidReply
+	msg.prog = pl.prog
+	msg.vt = n.vclock
+	n.enqueueLocal(a, msg)
+}

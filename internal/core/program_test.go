@@ -1,0 +1,223 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestTwoProgramsConcurrently: two independent programs share the
+// partition; each quiesces on its own and gets its own result.
+func TestTwoProgramsConcurrently(t *testing.T) {
+	m := testMachine(t, Config{Nodes: 4})
+	counterT := m.RegisterType("counter", func(args []any) Behavior { return &counterBehavior{} })
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer m.Shutdown()
+
+	mkProg := func(label int) func(ctx *Context) {
+		return func(ctx *Context) {
+			a := ctx.NewOn(1+label%3, counterT)
+			for i := 0; i < 10+label; i++ {
+				ctx.Send(a, selInc)
+			}
+			j := ctx.NewJoin(1, func(ctx *Context, slots []any) {
+				ctx.Exit(slots[0])
+			})
+			ctx.Request(a, selGet, j, 0)
+		}
+	}
+	p1, err := m.Launch(mkProg(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := m.Launch(mkProg(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, err1 := p1.Wait()
+	v2, err2 := p2.Wait()
+	if err1 != nil || err2 != nil {
+		t.Fatalf("wait errors: %v %v", err1, err2)
+	}
+	if v1 != 11 || v2 != 12 {
+		t.Fatalf("results %v %v, want 11 12", v1, v2)
+	}
+}
+
+// TestProgramsQuiesceIndependently: a long-running program must not delay
+// a short one's completion.
+func TestProgramsQuiesceIndependently(t *testing.T) {
+	m := testMachine(t, Config{Nodes: 2})
+	gate := make(chan struct{})
+	var longDone atomic.Bool
+	pingT := m.RegisterType("pinger", func(args []any) Behavior {
+		return &funcBehavior{f: func(ctx *Context, msg *Message) {
+			if msg.Sel != selPing {
+				return
+			}
+			// Keep the long program alive until released.
+			select {
+			case <-gate:
+				longDone.Store(true)
+			case <-time.After(time.Millisecond):
+				ctx.Send(ctx.Self(), selPing)
+			}
+		}}
+	})
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer m.Shutdown()
+
+	long, err := m.Launch(func(ctx *Context) {
+		a := ctx.NewOn(1, pingT)
+		ctx.Send(a, selPing)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	short, err := m.Launch(func(ctx *Context) { ctx.Exit("quick") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := short.Wait()
+	if err != nil || v != "quick" {
+		t.Fatalf("short program: %v, %v", v, err)
+	}
+	if longDone.Load() {
+		t.Fatal("long program finished before release; test is vacuous")
+	}
+	close(gate)
+	if _, err := long.Wait(); err != nil {
+		t.Fatalf("long program: %v", err)
+	}
+}
+
+// TestManyProgramsFromManyGoroutines: launches race from several
+// goroutines; every program completes with the right answer.
+func TestManyProgramsFromManyGoroutines(t *testing.T) {
+	m := testMachine(t, Config{Nodes: 4})
+	doubler := m.RegisterType("doubler", func(args []any) Behavior {
+		return &funcBehavior{f: func(ctx *Context, msg *Message) {
+			ctx.Reply(msg, msg.Int(0)*2)
+		}}
+	})
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer m.Shutdown()
+
+	const programs = 24
+	var wg sync.WaitGroup
+	errs := make([]error, programs)
+	vals := make([]any, programs)
+	for i := 0; i < programs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p, err := m.Launch(func(ctx *Context) {
+				a := ctx.NewOn(i%4, doubler)
+				j := ctx.NewJoin(1, func(ctx *Context, slots []any) { ctx.Exit(slots[0]) })
+				ctx.Request(a, selWork, j, 0, i)
+			})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			vals[i], errs[i] = p.Wait()
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < programs; i++ {
+		if errs[i] != nil {
+			t.Fatalf("program %d: %v", i, errs[i])
+		}
+		if vals[i] != i*2 {
+			t.Errorf("program %d returned %v, want %d", i, vals[i], i*2)
+		}
+	}
+}
+
+// TestShutdownAbandonsRunningProgram: Wait after Shutdown reports an
+// error for a program that never finished.
+func TestShutdownAbandonsRunningProgram(t *testing.T) {
+	m := testMachine(t, Config{Nodes: 2})
+	spin := m.RegisterType("spin", func(args []any) Behavior {
+		return &funcBehavior{f: func(ctx *Context, msg *Message) {
+			ctx.Send(ctx.Self(), selPing) // forever
+		}}
+	})
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	p, err := m.Launch(func(ctx *Context) {
+		ctx.Send(ctx.NewOn(1, spin), selPing)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(10 * time.Millisecond)
+	m.Shutdown()
+	if _, err := p.Wait(); err == nil {
+		t.Fatal("Wait succeeded for an abandoned program")
+	}
+	// The machine restarts cleanly after purging the abandoned work.
+	v := run(t, m, func(ctx *Context) { ctx.Exit("fresh") })
+	if v != "fresh" {
+		t.Fatalf("restart returned %v", v)
+	}
+}
+
+// TestLaunchBeforeStartFails.
+func TestLaunchBeforeStartFails(t *testing.T) {
+	m := testMachine(t, Config{Nodes: 1})
+	if _, err := m.Launch(func(ctx *Context) {}); err == nil {
+		t.Fatal("Launch before Start succeeded")
+	}
+}
+
+// TestProgramIsolationOfLoadBalancedWork: two load-balanced programs
+// interleave on the same nodes; both totals must be exact.
+func TestProgramIsolationOfLoadBalancedWork(t *testing.T) {
+	m := testMachine(t, Config{Nodes: 4, LoadBalance: true, StallTimeout: 20 * time.Second})
+	var c1, c2 atomic.Int64
+	w1 := m.RegisterType("w1", func(args []any) Behavior {
+		return &funcBehavior{f: func(ctx *Context, msg *Message) {
+			ctx.Charge(30 * time.Microsecond)
+			c1.Add(1)
+			ctx.Die()
+		}}
+	})
+	w2 := m.RegisterType("w2", func(args []any) Behavior {
+		return &funcBehavior{f: func(ctx *Context, msg *Message) {
+			ctx.Charge(30 * time.Microsecond)
+			c2.Add(1)
+			ctx.Die()
+		}}
+	})
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer m.Shutdown()
+	spawnMany := func(typ TypeID, n int) func(ctx *Context) {
+		return func(ctx *Context) {
+			for i := 0; i < n; i++ {
+				ctx.Send(ctx.NewAuto(typ), selWork)
+			}
+		}
+	}
+	p1, _ := m.Launch(spawnMany(w1, 150))
+	p2, _ := m.Launch(spawnMany(w2, 250))
+	if _, err := p1.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p2.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if c1.Load() != 150 || c2.Load() != 250 {
+		t.Fatalf("counts %d/%d, want 150/250", c1.Load(), c2.Load())
+	}
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTraceDisabledByDefault(t *testing.T) {
+	m := testMachine(t, Config{Nodes: 2})
+	run(t, m, func(ctx *Context) {
+		a := ctx.New(&counterBehavior{})
+		ctx.Send(a, selInc)
+	})
+	if evs := m.Trace(); len(evs) != 0 {
+		t.Fatalf("tracing recorded %d events while disabled", len(evs))
+	}
+}
+
+func TestTraceRecordsKernelEvents(t *testing.T) {
+	m := testMachine(t, Config{Nodes: 3, TraceBuffer: 1024})
+	wanderer := m.RegisterType("wanderer", func(args []any) Behavior {
+		return &funcBehavior{f: func(ctx *Context, msg *Message) {
+			switch msg.Sel {
+			case selPing:
+				ctx.Migrate(msg.Int(0))
+			case selEcho:
+				ctx.Reply(msg, ctx.Node())
+			}
+		}}
+	})
+	run(t, m, func(ctx *Context) {
+		w := ctx.NewOn(1, wanderer)
+		ctx.Send(w, selPing, 2)
+		j := ctx.NewJoin(1, func(ctx *Context, slots []any) {})
+		ctx.Request(w, selEcho, j, 0)
+	})
+	evs := m.Trace()
+	if len(evs) == 0 {
+		t.Fatal("no events recorded")
+	}
+	kinds := map[EventKind]int{}
+	for _, e := range evs {
+		kinds[e.Kind]++
+	}
+	for _, want := range []EventKind{EvCreate, EvCreateServed, EvDeliver, EvMigrateOut, EvMigrateIn} {
+		if kinds[want] == 0 {
+			t.Errorf("no %v events in trace: %v", want, kinds)
+		}
+	}
+	// Sorted by virtual time.
+	for i := 1; i < len(evs); i++ {
+		if evs[i].VT < evs[i-1].VT {
+			t.Fatal("trace not sorted by virtual time")
+		}
+	}
+	var sb strings.Builder
+	m.DumpTrace(&sb)
+	if !strings.Contains(sb.String(), "migrate-out") {
+		t.Error("DumpTrace output missing migrate-out")
+	}
+}
+
+func TestTraceRingKeepsNewest(t *testing.T) {
+	m := testMachine(t, Config{Nodes: 1, TraceBuffer: 8})
+	run(t, m, func(ctx *Context) {
+		a := ctx.New(&counterBehavior{})
+		for i := 0; i < 100; i++ {
+			ctx.Send(a, selInc)
+		}
+	})
+	evs := m.Trace()
+	if len(evs) != 8 {
+		t.Fatalf("ring kept %d events, want 8", len(evs))
+	}
+	// All retained events are from late in the run.
+	if evs[0].VT == 0 {
+		t.Error("oldest events not evicted")
+	}
+}
+
+func TestTraceResetsBetweenRuns(t *testing.T) {
+	m := testMachine(t, Config{Nodes: 1, TraceBuffer: 64})
+	run(t, m, func(ctx *Context) {
+		ctx.Send(ctx.New(&counterBehavior{}), selInc)
+	})
+	first := len(m.Trace())
+	run(t, m, func(ctx *Context) {})
+	second := len(m.Trace())
+	if second >= first {
+		t.Fatalf("trace not reset: first=%d second=%d", first, second)
+	}
+}
+
+func TestEventKindStrings(t *testing.T) {
+	for k := EvSendLocal; k <= EvDeadLetter; k++ {
+		if k.String() == "unknown" {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+	if EventKind(200).String() != "unknown" {
+		t.Error("invalid kind not reported unknown")
+	}
+}

@@ -1,0 +1,207 @@
+// Package linalg provides the dense linear algebra the evaluation
+// programs need: blocked matrix multiplication (the local kernel of the
+// systolic algorithm, standing in for von Eicken's assembly routine) and
+// Cholesky factorization (the Table 1 workload), plus generators and
+// verification helpers.
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	R, C int
+	Data []float64
+}
+
+// NewMatrix allocates an R x C zero matrix.
+func NewMatrix(r, c int) *Matrix {
+	return &Matrix{R: r, C: c, Data: make([]float64, r*c)}
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.C+j] }
+
+// Set stores element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.C+j] = v }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.R, m.C)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// Block copies the br x bc submatrix whose top-left corner is (i0, j0).
+func (m *Matrix) Block(i0, j0, br, bc int) *Matrix {
+	out := NewMatrix(br, bc)
+	for i := 0; i < br; i++ {
+		copy(out.Data[i*bc:(i+1)*bc], m.Data[(i0+i)*m.C+j0:(i0+i)*m.C+j0+bc])
+	}
+	return out
+}
+
+// SetBlock writes b into m with top-left corner (i0, j0).
+func (m *Matrix) SetBlock(i0, j0 int, b *Matrix) {
+	for i := 0; i < b.R; i++ {
+		copy(m.Data[(i0+i)*m.C+j0:(i0+i)*m.C+j0+b.C], b.Data[i*b.C:(i+1)*b.C])
+	}
+}
+
+// MulAdd computes c += a * b using a cache-blocked i-k-j loop order — the
+// local dgemm kernel of the systolic multiplication.  Panics on shape
+// mismatch.
+func MulAdd(c, a, b *Matrix) {
+	if a.C != b.R || c.R != a.R || c.C != b.C {
+		panic(fmt.Sprintf("linalg: MulAdd shapes %dx%d * %dx%d -> %dx%d", a.R, a.C, b.R, b.C, c.R, c.C))
+	}
+	n, k, mcols := a.R, a.C, b.C
+	for i := 0; i < n; i++ {
+		ci := c.Data[i*mcols : (i+1)*mcols]
+		for p := 0; p < k; p++ {
+			aip := a.Data[i*k+p]
+			if aip == 0 {
+				continue
+			}
+			bp := b.Data[p*mcols : (p+1)*mcols]
+			for j := range ci {
+				ci[j] += aip * bp[j]
+			}
+		}
+	}
+}
+
+// Mul returns a * b.
+func Mul(a, b *Matrix) *Matrix {
+	c := NewMatrix(a.R, b.C)
+	MulAdd(c, a, b)
+	return c
+}
+
+// MulFlops returns the flop count of an a.R x a.C by b.C multiply-add.
+func MulFlops(n, k, m int) int { return 2 * n * k * m }
+
+// Transpose returns m transposed.
+func Transpose(m *Matrix) *Matrix {
+	out := NewMatrix(m.C, m.R)
+	for i := 0; i < m.R; i++ {
+		for j := 0; j < m.C; j++ {
+			out.Data[j*out.C+i] = m.Data[i*m.C+j]
+		}
+	}
+	return out
+}
+
+// RandMatrix returns an n x m matrix with entries uniform in [-1, 1).
+func RandMatrix(n, m int, seed int64) *Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	out := NewMatrix(n, m)
+	for i := range out.Data {
+		out.Data[i] = 2*rng.Float64() - 1
+	}
+	return out
+}
+
+// RandSPD returns a random symmetric positive-definite n x n matrix
+// (B*Bᵀ + n*I), the Cholesky test input.
+func RandSPD(n int, seed int64) *Matrix {
+	b := RandMatrix(n, n, seed)
+	a := Mul(b, Transpose(b))
+	for i := 0; i < n; i++ {
+		a.Data[i*n+i] += float64(n)
+	}
+	return a
+}
+
+// Cholesky factors a symmetric positive-definite matrix in place into the
+// lower-triangular L with A = L*Lᵀ (entries above the diagonal are
+// zeroed).  This right-looking column algorithm is the sequential
+// reference for the Table 1 workload.  Returns an error if the matrix is
+// not positive definite.
+func Cholesky(a *Matrix) error {
+	if a.R != a.C {
+		panic("linalg: Cholesky needs a square matrix")
+	}
+	n := a.R
+	for k := 0; k < n; k++ {
+		d := a.At(k, k)
+		if d <= 0 {
+			return fmt.Errorf("linalg: not positive definite at column %d (pivot %g)", k, d)
+		}
+		d = math.Sqrt(d)
+		a.Set(k, k, d)
+		for i := k + 1; i < n; i++ {
+			a.Set(i, k, a.At(i, k)/d)
+		}
+		// Right-looking update of the trailing submatrix.
+		for j := k + 1; j < n; j++ {
+			ajk := a.At(j, k)
+			if ajk == 0 {
+				continue
+			}
+			for i := j; i < n; i++ {
+				a.Set(i, j, a.At(i, j)-a.At(i, k)*ajk)
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			a.Set(i, j, 0)
+		}
+	}
+	return nil
+}
+
+// CholeskyFlops returns the flop count of an n x n Cholesky (n³/3 to
+// leading order).
+func CholeskyFlops(n int) int { return n * n * n / 3 }
+
+// SolveXLt solves X * Lᵀ = A in place (A becomes X), where l is lower
+// triangular.  This is the panel triangular solve of blocked Cholesky:
+// L_ij = A_ij * L_jj^{-T}.
+func SolveXLt(a, l *Matrix) {
+	if l.R != l.C || a.C != l.R {
+		panic(fmt.Sprintf("linalg: SolveXLt shapes %dx%d vs %dx%d", a.R, a.C, l.R, l.C))
+	}
+	b := l.R
+	for i := 0; i < a.R; i++ {
+		row := a.Data[i*b : (i+1)*b]
+		for j := 0; j < b; j++ {
+			s := row[j]
+			lj := l.Data[j*b : j*b+j]
+			for k, lv := range lj {
+				s -= row[k] * lv
+			}
+			row[j] = s / l.Data[j*b+j]
+		}
+	}
+}
+
+// SolveXLtFlops returns the flop count of SolveXLt for an m x b panel.
+func SolveXLtFlops(m, b int) int { return m * b * b }
+
+// MaxAbsDiff returns max |a - b| over all entries.
+func MaxAbsDiff(a, b *Matrix) float64 {
+	if a.R != b.R || a.C != b.C {
+		panic("linalg: MaxAbsDiff shape mismatch")
+	}
+	max := 0.0
+	for i := range a.Data {
+		if d := math.Abs(a.Data[i] - b.Data[i]); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// FrobNorm returns the Frobenius norm.
+func FrobNorm(a *Matrix) float64 {
+	s := 0.0
+	for _, v := range a.Data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}

@@ -1,0 +1,261 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMulIdentity(t *testing.T) {
+	a := RandMatrix(7, 7, 1)
+	id := NewMatrix(7, 7)
+	for i := 0; i < 7; i++ {
+		id.Set(i, i, 1)
+	}
+	if d := MaxAbsDiff(Mul(a, id), a); d != 0 {
+		t.Errorf("A*I differs from A by %g", d)
+	}
+	if d := MaxAbsDiff(Mul(id, a), a); d != 0 {
+		t.Errorf("I*A differs from A by %g", d)
+	}
+}
+
+func TestMulKnown(t *testing.T) {
+	a := &Matrix{R: 2, C: 3, Data: []float64{1, 2, 3, 4, 5, 6}}
+	b := &Matrix{R: 3, C: 2, Data: []float64{7, 8, 9, 10, 11, 12}}
+	c := Mul(a, b)
+	want := []float64{58, 64, 139, 154}
+	for i, w := range want {
+		if c.Data[i] != w {
+			t.Fatalf("c[%d]=%v want %v", i, c.Data[i], w)
+		}
+	}
+}
+
+func TestMulAddAccumulates(t *testing.T) {
+	a := RandMatrix(4, 5, 2)
+	b := RandMatrix(5, 3, 3)
+	c := RandMatrix(4, 3, 4)
+	orig := c.Clone()
+	MulAdd(c, a, b)
+	prod := Mul(a, b)
+	for i := range c.Data {
+		want := orig.Data[i] + prod.Data[i]
+		if math.Abs(c.Data[i]-want) > 1e-12 {
+			t.Fatalf("accumulate wrong at %d", i)
+		}
+	}
+}
+
+func TestMulShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("shape mismatch did not panic")
+		}
+	}()
+	Mul(NewMatrix(2, 3), NewMatrix(2, 3))
+}
+
+func TestBlockRoundTrip(t *testing.T) {
+	a := RandMatrix(8, 8, 5)
+	b := a.Block(2, 4, 3, 2)
+	if b.R != 3 || b.C != 2 {
+		t.Fatal("block shape wrong")
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 2; j++ {
+			if b.At(i, j) != a.At(2+i, 4+j) {
+				t.Fatal("block content wrong")
+			}
+		}
+	}
+	c := NewMatrix(8, 8)
+	c.SetBlock(2, 4, b)
+	if c.At(3, 5) != a.At(3, 5) {
+		t.Fatal("SetBlock wrong")
+	}
+	if c.At(0, 0) != 0 {
+		t.Fatal("SetBlock clobbered other entries")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	a := RandMatrix(3, 5, 6)
+	at := Transpose(a)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 5; j++ {
+			if a.At(i, j) != at.At(j, i) {
+				t.Fatal("transpose wrong")
+			}
+		}
+	}
+}
+
+// Property: blocked multiplication agrees with the naive triple loop.
+func TestMulMatchesNaive(t *testing.T) {
+	f := func(seed int64, nRaw, kRaw, mRaw uint8) bool {
+		n, k, m := int(nRaw%12)+1, int(kRaw%12)+1, int(mRaw%12)+1
+		a := RandMatrix(n, k, seed)
+		b := RandMatrix(k, m, seed+1)
+		c := Mul(a, b)
+		for i := 0; i < n; i++ {
+			for j := 0; j < m; j++ {
+				s := 0.0
+				for p := 0; p < k; p++ {
+					s += a.At(i, p) * b.At(p, j)
+				}
+				if math.Abs(c.At(i, j)-s) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCholeskyReconstructs(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 8, 33, 64} {
+		a := RandSPD(n, int64(n))
+		orig := a.Clone()
+		if err := Cholesky(a); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		recon := Mul(a, Transpose(a))
+		if d := MaxAbsDiff(recon, orig); d > 1e-8*float64(n) {
+			t.Errorf("n=%d: |L*Lt - A| = %g", n, d)
+		}
+	}
+}
+
+func TestCholeskyLowerTriangular(t *testing.T) {
+	a := RandSPD(10, 7)
+	if err := Cholesky(a); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		for j := i + 1; j < 10; j++ {
+			if a.At(i, j) != 0 {
+				t.Fatalf("upper entry (%d,%d) = %v", i, j, a.At(i, j))
+			}
+		}
+	}
+	for i := 0; i < 10; i++ {
+		if a.At(i, i) <= 0 {
+			t.Fatalf("diagonal (%d,%d) not positive", i, i)
+		}
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(1, 1, -1)
+	if err := Cholesky(a); err == nil {
+		t.Fatal("indefinite matrix accepted")
+	}
+}
+
+// Property: Cholesky of random SPD matrices always reconstructs.
+func TestCholeskyProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%20) + 1
+		a := RandSPD(n, seed)
+		orig := a.Clone()
+		if err := Cholesky(a); err != nil {
+			return false
+		}
+		return MaxAbsDiff(Mul(a, Transpose(a)), orig) < 1e-7*float64(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveXLt(t *testing.T) {
+	// Build L lower-triangular with positive diagonal, X random; check
+	// SolveXLt(X*Lt, L) recovers X.
+	b := 6
+	l := NewMatrix(b, b)
+	rng := RandMatrix(b, b, 11)
+	for i := 0; i < b; i++ {
+		for j := 0; j <= i; j++ {
+			l.Set(i, j, rng.At(i, j))
+		}
+		l.Set(i, i, 2+rng.At(i, i))
+	}
+	x := RandMatrix(9, b, 12)
+	a := Mul(x, Transpose(l))
+	SolveXLt(a, l)
+	if d := MaxAbsDiff(a, x); d > 1e-10 {
+		t.Fatalf("SolveXLt error %g", d)
+	}
+}
+
+func TestSolveXLtProperty(t *testing.T) {
+	f := func(seed int64, mRaw, bRaw uint8) bool {
+		m, b := int(mRaw%10)+1, int(bRaw%8)+1
+		l := NewMatrix(b, b)
+		rng := RandMatrix(b, b, seed)
+		for i := 0; i < b; i++ {
+			for j := 0; j <= i; j++ {
+				l.Set(i, j, rng.At(i, j))
+			}
+			l.Set(i, i, 2+rng.At(i, i))
+		}
+		x := RandMatrix(m, b, seed+1)
+		a := Mul(x, Transpose(l))
+		SolveXLt(a, l)
+		return MaxAbsDiff(a, x) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlopCounts(t *testing.T) {
+	if MulFlops(2, 3, 4) != 48 {
+		t.Error("MulFlops wrong")
+	}
+	if CholeskyFlops(9) != 243 {
+		t.Error("CholeskyFlops wrong")
+	}
+}
+
+func TestFrobNorm(t *testing.T) {
+	a := &Matrix{R: 1, C: 2, Data: []float64{3, 4}}
+	if FrobNorm(a) != 5 {
+		t.Errorf("FrobNorm=%v want 5", FrobNorm(a))
+	}
+}
+
+func BenchmarkMulAdd64(b *testing.B) {
+	x := RandMatrix(64, 64, 1)
+	y := RandMatrix(64, 64, 2)
+	c := NewMatrix(64, 64)
+	b.ReportMetric(float64(MulFlops(64, 64, 64)), "flops/op")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MulAdd(c, x, y)
+	}
+}
+
+func BenchmarkCholesky128(b *testing.B) {
+	a := RandSPD(128, 1)
+	work := NewMatrix(128, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(work.Data, a.Data)
+		if err := Cholesky(work); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestSolveFlops(t *testing.T) {
+	if SolveXLtFlops(5, 4) != 80 {
+		t.Errorf("SolveXLtFlops=%d want 80", SolveXLtFlops(5, 4))
+	}
+}

@@ -1,0 +1,210 @@
+package sched
+
+import (
+	"container/list"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDequeZeroValue(t *testing.T) {
+	var d Deque[int]
+	if !d.Empty() || d.Len() != 0 {
+		t.Fatal("zero deque not empty")
+	}
+	if _, ok := d.PopFront(); ok {
+		t.Fatal("PopFront on empty returned ok")
+	}
+	if _, ok := d.PopBack(); ok {
+		t.Fatal("PopBack on empty returned ok")
+	}
+	if _, ok := d.Front(); ok {
+		t.Fatal("Front on empty returned ok")
+	}
+}
+
+func TestDequeFIFO(t *testing.T) {
+	var d Deque[int]
+	for i := 0; i < 100; i++ {
+		d.PushBack(i)
+	}
+	for i := 0; i < 100; i++ {
+		v, ok := d.PopFront()
+		if !ok || v != i {
+			t.Fatalf("PopFront #%d = %d,%v", i, v, ok)
+		}
+	}
+}
+
+func TestDequeLIFO(t *testing.T) {
+	var d Deque[int]
+	for i := 0; i < 100; i++ {
+		d.PushBack(i)
+	}
+	for i := 99; i >= 0; i-- {
+		v, ok := d.PopBack()
+		if !ok || v != i {
+			t.Fatalf("PopBack = %d,%v want %d", v, ok, i)
+		}
+	}
+}
+
+func TestDequePushFront(t *testing.T) {
+	var d Deque[string]
+	d.PushBack("b")
+	d.PushFront("a")
+	d.PushBack("c")
+	want := []string{"a", "b", "c"}
+	for _, w := range want {
+		v, _ := d.PopFront()
+		if v != w {
+			t.Fatalf("got %q want %q", v, w)
+		}
+	}
+}
+
+func TestDequeGrowWrapped(t *testing.T) {
+	// Force the ring to wrap before growing.
+	var d Deque[int]
+	for i := 0; i < 12; i++ {
+		d.PushBack(i)
+	}
+	for i := 0; i < 8; i++ {
+		d.PopFront()
+	}
+	for i := 12; i < 40; i++ { // grows while head != 0
+		d.PushBack(i)
+	}
+	for i := 8; i < 40; i++ {
+		v, ok := d.PopFront()
+		if !ok || v != i {
+			t.Fatalf("after wrap+grow: got %d,%v want %d", v, ok, i)
+		}
+	}
+}
+
+func TestDequeFrontPeeks(t *testing.T) {
+	var d Deque[int]
+	d.PushBack(7)
+	if v, ok := d.Front(); !ok || v != 7 {
+		t.Fatal("Front wrong")
+	}
+	if d.Len() != 1 {
+		t.Fatal("Front consumed element")
+	}
+}
+
+func TestDequeClear(t *testing.T) {
+	var d Deque[*int]
+	x := 1
+	for i := 0; i < 10; i++ {
+		d.PushBack(&x)
+	}
+	d.Clear()
+	if !d.Empty() {
+		t.Fatal("Clear left elements")
+	}
+	d.PushBack(&x)
+	if v, ok := d.PopFront(); !ok || v != &x {
+		t.Fatal("deque unusable after Clear")
+	}
+}
+
+func TestDequeReleasesReferences(t *testing.T) {
+	var d Deque[*int]
+	x := 5
+	d.PushBack(&x)
+	d.PopFront()
+	// The vacated slot must be zeroed so the GC can collect.
+	for i := range d.buf {
+		if d.buf[i] != nil {
+			t.Fatal("popped slot still references element")
+		}
+	}
+}
+
+// Property: a random sequence of operations behaves identically to
+// container/list used as a deque.
+func TestDequeMatchesListModel(t *testing.T) {
+	f := func(seed int64, opsRaw uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ops := int(opsRaw%2000) + 100
+		var d Deque[int]
+		model := list.New()
+		for i := 0; i < ops; i++ {
+			switch rng.Intn(5) {
+			case 0:
+				v := rng.Int()
+				d.PushBack(v)
+				model.PushBack(v)
+			case 1:
+				v := rng.Int()
+				d.PushFront(v)
+				model.PushFront(v)
+			case 2:
+				v, ok := d.PopFront()
+				e := model.Front()
+				if ok != (e != nil) {
+					return false
+				}
+				if ok {
+					if v != model.Remove(e).(int) {
+						return false
+					}
+				}
+			case 3:
+				v, ok := d.PopBack()
+				e := model.Back()
+				if ok != (e != nil) {
+					return false
+				}
+				if ok {
+					if v != model.Remove(e).(int) {
+						return false
+					}
+				}
+			case 4:
+				if d.Len() != model.Len() {
+					return false
+				}
+			}
+		}
+		// Drain both and compare.
+		for {
+			v, ok := d.PopFront()
+			e := model.Front()
+			if ok != (e != nil) {
+				return false
+			}
+			if !ok {
+				return true
+			}
+			if v != model.Remove(e).(int) {
+				return false
+			}
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkDequePushPopBack(b *testing.B) {
+	var d Deque[int]
+	for i := 0; i < b.N; i++ {
+		d.PushBack(i)
+		d.PopBack()
+	}
+}
+
+func BenchmarkDequeFIFOChurn(b *testing.B) {
+	var d Deque[int]
+	for i := 0; i < 64; i++ {
+		d.PushBack(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.PushBack(i)
+		d.PopFront()
+	}
+}

@@ -1,0 +1,128 @@
+package sched
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestHeapEmpty(t *testing.T) {
+	var h Heap[int]
+	if !h.Empty() || h.Len() != 0 {
+		t.Fatal("zero heap not empty")
+	}
+	if _, ok := h.Pop(); ok {
+		t.Fatal("Pop on empty returned ok")
+	}
+	if _, ok := h.MinKey(); ok {
+		t.Fatal("MinKey on empty returned ok")
+	}
+}
+
+func TestHeapOrdersByKey(t *testing.T) {
+	var h Heap[string]
+	h.Push("c", 3)
+	h.Push("a", 1)
+	h.Push("b", 2)
+	for _, want := range []string{"a", "b", "c"} {
+		v, ok := h.Pop()
+		if !ok || v != want {
+			t.Fatalf("got %q want %q", v, want)
+		}
+	}
+}
+
+func TestHeapFIFOTieBreak(t *testing.T) {
+	var h Heap[int]
+	for i := 0; i < 50; i++ {
+		h.Push(i, 7.0)
+	}
+	for i := 0; i < 50; i++ {
+		v, _ := h.Pop()
+		if v != i {
+			t.Fatalf("tie-break not FIFO: got %d want %d", v, i)
+		}
+	}
+}
+
+func TestHeapMinKey(t *testing.T) {
+	var h Heap[int]
+	h.Push(1, 5)
+	h.Push(2, 3)
+	if k, ok := h.MinKey(); !ok || k != 3 {
+		t.Fatalf("MinKey=%v,%v", k, ok)
+	}
+	if h.Len() != 2 {
+		t.Fatal("MinKey consumed an item")
+	}
+}
+
+// Property: popping everything yields keys in nondecreasing order and the
+// same multiset that went in.
+func TestHeapSortsProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw % 500)
+		var h Heap[float64]
+		keys := make([]float64, n)
+		for i := range keys {
+			keys[i] = float64(rng.Intn(100))
+			h.Push(keys[i], keys[i])
+		}
+		var got []float64
+		for {
+			v, ok := h.Pop()
+			if !ok {
+				break
+			}
+			got = append(got, v)
+		}
+		if len(got) != n {
+			return false
+		}
+		if !sort.Float64sAreSorted(got) {
+			return false
+		}
+		sort.Float64s(keys)
+		for i := range keys {
+			if keys[i] != got[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeapInterleavedPushPop(t *testing.T) {
+	var h Heap[int]
+	h.Push(5, 5)
+	h.Push(1, 1)
+	if v, _ := h.Pop(); v != 1 {
+		t.Fatal("wrong min")
+	}
+	h.Push(0, 0)
+	h.Push(9, 9)
+	if v, _ := h.Pop(); v != 0 {
+		t.Fatal("wrong min after interleave")
+	}
+	if v, _ := h.Pop(); v != 5 {
+		t.Fatal("wrong order")
+	}
+	if v, _ := h.Pop(); v != 9 {
+		t.Fatal("wrong last")
+	}
+}
+
+func BenchmarkHeapPushPop(b *testing.B) {
+	var h Heap[int]
+	for i := 0; i < b.N; i++ {
+		h.Push(i, float64(i&1023))
+		if h.Len() > 512 {
+			h.Pop()
+		}
+	}
+}

@@ -1,0 +1,111 @@
+// Package slotmap provides a generic arena of generation-tagged slots.
+//
+// A Map hands out uint64 keys that embed a slot index and a generation
+// counter.  Freeing a slot bumps its generation, so stale keys held
+// elsewhere (for example a reply racing a completed join continuation)
+// fail to resolve instead of aliasing the slot's next occupant.  The
+// locality-descriptor arena in package names uses the same scheme; this
+// package generalizes it for other kernel objects.
+//
+// Maps are not safe for concurrent use; each instance is owned by one node
+// goroutine.
+package slotmap
+
+// Key layout: low 40 bits slot index, high 24 bits generation.  Slot 0 is
+// reserved so that key 0 means "none".
+const (
+	slotBits = 40
+	slotMask = (uint64(1) << slotBits) - 1
+	maxGen   = 1<<24 - 1
+)
+
+func keySlot(k uint64) uint64 { return k & slotMask }
+func keyGen(k uint64) uint32  { return uint32(k >> slotBits) }
+
+// MakeKey assembles a key from slot and generation; exported for tests.
+func MakeKey(slot uint64, gen uint32) uint64 { return slot | uint64(gen)<<slotBits }
+
+type entry[T any] struct {
+	val T
+	gen uint32
+}
+
+// Map is the arena.  The zero value is not ready; use New.
+type Map[T any] struct {
+	entries []entry[T]
+	free    []uint64
+	live    int
+}
+
+// New returns an empty Map.
+func New[T any]() *Map[T] {
+	m := &Map[T]{}
+	m.entries = append(m.entries, entry[T]{}) // slot 0 reserved
+	return m
+}
+
+// Insert stores v and returns its key.
+func (m *Map[T]) Insert(v T) uint64 {
+	m.live++
+	if n := len(m.free); n > 0 {
+		slot := m.free[n-1]
+		m.free = m.free[:n-1]
+		e := &m.entries[slot]
+		e.val = v
+		return MakeKey(slot, e.gen)
+	}
+	m.entries = append(m.entries, entry[T]{val: v})
+	return MakeKey(uint64(len(m.entries)-1), 0)
+}
+
+// Get returns the value for k and whether k is live.
+func (m *Map[T]) Get(k uint64) (T, bool) {
+	var zero T
+	slot := keySlot(k)
+	if slot == 0 || slot >= uint64(len(m.entries)) {
+		return zero, false
+	}
+	e := &m.entries[slot]
+	if e.gen != keyGen(k) {
+		return zero, false
+	}
+	return e.val, true
+}
+
+// Ptr returns a pointer to the value for k, or nil if k is stale.  The
+// pointer is invalidated by the next Insert or Delete.
+func (m *Map[T]) Ptr(k uint64) *T {
+	slot := keySlot(k)
+	if slot == 0 || slot >= uint64(len(m.entries)) {
+		return nil
+	}
+	e := &m.entries[slot]
+	if e.gen != keyGen(k) {
+		return nil
+	}
+	return &e.val
+}
+
+// Delete frees k's slot.  Stale or invalid keys are a no-op.  It reports
+// whether a live entry was removed.
+func (m *Map[T]) Delete(k uint64) bool {
+	slot := keySlot(k)
+	if slot == 0 || slot >= uint64(len(m.entries)) {
+		return false
+	}
+	e := &m.entries[slot]
+	if e.gen != keyGen(k) {
+		return false
+	}
+	var zero T
+	e.val = zero
+	e.gen++
+	if e.gen <= maxGen {
+		m.free = append(m.free, slot)
+	}
+	m.live--
+	return true
+}
+
+// Len returns the number of live entries.
+func (m *Map[T]) Len() int { return m.live }

@@ -1,0 +1,148 @@
+package slotmap
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestInsertGet(t *testing.T) {
+	m := New[string]()
+	k := m.Insert("hello")
+	if k == 0 {
+		t.Fatal("Insert returned reserved key 0")
+	}
+	v, ok := m.Get(k)
+	if !ok || v != "hello" {
+		t.Fatalf("Get=%q,%v", v, ok)
+	}
+	if m.Len() != 1 {
+		t.Errorf("Len=%d want 1", m.Len())
+	}
+}
+
+func TestGetInvalid(t *testing.T) {
+	m := New[int]()
+	if _, ok := m.Get(0); ok {
+		t.Error("Get(0) succeeded")
+	}
+	if _, ok := m.Get(12345); ok {
+		t.Error("Get(out of range) succeeded")
+	}
+}
+
+func TestDeleteInvalidatesKey(t *testing.T) {
+	m := New[int]()
+	k := m.Insert(7)
+	if !m.Delete(k) {
+		t.Fatal("Delete returned false for live key")
+	}
+	if _, ok := m.Get(k); ok {
+		t.Fatal("stale key resolved")
+	}
+	if m.Delete(k) {
+		t.Fatal("double delete returned true")
+	}
+	if m.Len() != 0 {
+		t.Errorf("Len=%d want 0", m.Len())
+	}
+}
+
+func TestSlotReuseNewGeneration(t *testing.T) {
+	m := New[int]()
+	k1 := m.Insert(1)
+	m.Delete(k1)
+	k2 := m.Insert(2)
+	if keySlot(k1) != keySlot(k2) {
+		t.Fatal("slot not reused")
+	}
+	if k1 == k2 {
+		t.Fatal("generation not bumped")
+	}
+	if _, ok := m.Get(k1); ok {
+		t.Fatal("old generation resolves")
+	}
+	if v, ok := m.Get(k2); !ok || v != 2 {
+		t.Fatal("new generation broken")
+	}
+}
+
+func TestPtrMutates(t *testing.T) {
+	m := New[[2]int]()
+	k := m.Insert([2]int{1, 2})
+	p := m.Ptr(k)
+	if p == nil {
+		t.Fatal("Ptr nil for live key")
+	}
+	p[1] = 9
+	v, _ := m.Get(k)
+	if v[1] != 9 {
+		t.Fatal("Ptr mutation not visible")
+	}
+	m.Delete(k)
+	if m.Ptr(k) != nil {
+		t.Fatal("Ptr non-nil for stale key")
+	}
+}
+
+func TestMakeKeyRoundTrip(t *testing.T) {
+	f := func(slotRaw uint64, gen uint32) bool {
+		slot := slotRaw & slotMask
+		gen &= maxGen
+		k := MakeKey(slot, gen)
+		return keySlot(k) == slot && keyGen(k) == gen
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: under random insert/delete, live keys always resolve to their
+// value and deleted keys never resolve.
+func TestSlotmapProperty(t *testing.T) {
+	f := func(seed int64, opsRaw uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ops := int(opsRaw%800) + 50
+		m := New[int64]()
+		live := map[uint64]int64{}
+		var dead []uint64
+		for i := 0; i < ops; i++ {
+			if len(live) == 0 || rng.Intn(2) == 0 {
+				v := rng.Int63()
+				live[m.Insert(v)] = v
+			} else {
+				var k uint64
+				for k = range live {
+					break
+				}
+				m.Delete(k)
+				delete(live, k)
+				dead = append(dead, k)
+			}
+		}
+		if m.Len() != len(live) {
+			return false
+		}
+		for k, want := range live {
+			if v, ok := m.Get(k); !ok || v != want {
+				return false
+			}
+		}
+		for _, k := range dead {
+			if _, ok := m.Get(k); ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkInsertDelete(b *testing.B) {
+	m := New[int]()
+	for i := 0; i < b.N; i++ {
+		m.Delete(m.Insert(i))
+	}
+}

@@ -1,0 +1,171 @@
+// Package wsteal is a Cilk-style randomized work-stealing fork-join pool:
+// the stand-in for the paper's Cilk comparison point in Table 4.  Each
+// worker owns a deque; spawns push to the bottom (LIFO local execution,
+// depth-first), thieves steal from the top (oldest tasks, breadth-first),
+// and idle workers pick victims uniformly at random — the same discipline
+// as Cilk 2's scheduler, which the paper benchmarked Fibonacci against.
+package wsteal
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Task is one unit of work.  It may spawn further tasks through the
+// worker.
+type Task func(w *Worker)
+
+// Pool is a fork-join work-stealing scheduler.
+type Pool struct {
+	workers []*Worker
+	pending atomic.Int64 // spawned but not yet completed tasks
+	done    chan struct{}
+	wg      sync.WaitGroup
+	stop    atomic.Bool
+}
+
+// Worker is one scheduler thread's context.  Tasks receive the worker
+// that runs them and must use it (not a captured one) to spawn.
+type Worker struct {
+	pool *Pool
+	id   int
+	mu   sync.Mutex
+	dq   []Task
+	rng  *rand.Rand
+}
+
+// ID returns the worker's index.
+func (w *Worker) ID() int { return w.id }
+
+// New builds a pool with n workers (n <= 0 selects GOMAXPROCS).
+func New(n int) *Pool {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{done: make(chan struct{})}
+	for i := 0; i < n; i++ {
+		p.workers = append(p.workers, &Worker{
+			pool: p,
+			id:   i,
+			rng:  rand.New(rand.NewSource(int64(i)*0x9e37 + 1)),
+		})
+	}
+	return p
+}
+
+// Workers returns the worker count.
+func (p *Pool) Workers() int { return len(p.workers) }
+
+// Spawn schedules t on this worker's deque.
+func (w *Worker) Spawn(t Task) {
+	w.pool.pending.Add(1)
+	w.mu.Lock()
+	w.dq = append(w.dq, t)
+	w.mu.Unlock()
+}
+
+// popBottom takes this worker's newest task.
+func (w *Worker) popBottom() (Task, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	n := len(w.dq)
+	if n == 0 {
+		return nil, false
+	}
+	t := w.dq[n-1]
+	w.dq[n-1] = nil
+	w.dq = w.dq[:n-1]
+	return t, true
+}
+
+// stealTop takes this worker's oldest task, on behalf of a thief.
+func (w *Worker) stealTop() (Task, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if len(w.dq) == 0 {
+		return nil, false
+	}
+	t := w.dq[0]
+	w.dq[0] = nil
+	w.dq = w.dq[1:]
+	return t, true
+}
+
+// Run executes root and every task it transitively spawns, returning when
+// all complete.  Run may be called repeatedly; calls must not overlap.
+func (p *Pool) Run(root Task) {
+	p.stop.Store(false)
+	p.pending.Store(1)
+	p.workers[0].mu.Lock()
+	p.workers[0].dq = append(p.workers[0].dq, root)
+	p.workers[0].mu.Unlock()
+
+	p.wg.Add(len(p.workers))
+	for _, w := range p.workers {
+		go w.loop()
+	}
+	p.wg.Wait()
+}
+
+func (w *Worker) loop() {
+	defer w.pool.wg.Done()
+	p := w.pool
+	for !p.stop.Load() {
+		t, ok := w.popBottom()
+		if !ok {
+			t, ok = w.trySteal()
+		}
+		if !ok {
+			if p.pending.Load() == 0 {
+				p.stop.Store(true)
+				return
+			}
+			runtime.Gosched()
+			continue
+		}
+		t(w)
+		if p.pending.Add(-1) == 0 {
+			p.stop.Store(true)
+			return
+		}
+	}
+}
+
+// trySteal polls one random victim.
+func (w *Worker) trySteal() (Task, bool) {
+	p := w.pool
+	n := len(p.workers)
+	if n < 2 {
+		return nil, false
+	}
+	v := w.rng.Intn(n - 1)
+	if v >= w.id {
+		v++
+	}
+	return p.workers[v].stealTop()
+}
+
+// JoinCounter coordinates fork-join continuations: when its count drops
+// to zero, the continuation task is spawned.  The same shape as the HAL
+// kernel's join continuation, here for plain functions.
+type JoinCounter struct {
+	n    atomic.Int32
+	cont Task
+}
+
+// NewJoin returns a counter expecting n arrivals before cont runs.
+func NewJoin(n int, cont Task) *JoinCounter {
+	j := &JoinCounter{cont: cont}
+	j.n.Store(int32(n))
+	return j
+}
+
+// Arrive signals one completion; the last arrival spawns the continuation
+// on w.
+func (j *JoinCounter) Arrive(w *Worker) {
+	if j.n.Add(-1) == 0 {
+		w.Spawn(j.cont)
+	}
+}

@@ -1,0 +1,152 @@
+package wsteal
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunSingleTask(t *testing.T) {
+	p := New(2)
+	var ran atomic.Int32
+	p.Run(func(w *Worker) { ran.Add(1) })
+	if ran.Load() != 1 {
+		t.Fatalf("ran=%d", ran.Load())
+	}
+}
+
+func TestSpawnFanOut(t *testing.T) {
+	p := New(4)
+	var ran atomic.Int32
+	p.Run(func(w *Worker) {
+		for i := 0; i < 1000; i++ {
+			w.Spawn(func(w *Worker) { ran.Add(1) })
+		}
+	})
+	if ran.Load() != 1000 {
+		t.Fatalf("ran=%d want 1000", ran.Load())
+	}
+}
+
+func TestRecursiveSpawn(t *testing.T) {
+	p := New(4)
+	var leaves atomic.Int64
+	var rec func(depth int) Task
+	rec = func(depth int) Task {
+		return func(w *Worker) {
+			if depth == 0 {
+				leaves.Add(1)
+				return
+			}
+			w.Spawn(rec(depth - 1))
+			w.Spawn(rec(depth - 1))
+		}
+	}
+	p.Run(rec(12))
+	if leaves.Load() != 1<<12 {
+		t.Fatalf("leaves=%d want %d", leaves.Load(), 1<<12)
+	}
+}
+
+func TestJoinCounter(t *testing.T) {
+	p := New(2)
+	var order []string
+	var mu atomic.Int32
+	p.Run(func(w *Worker) {
+		j := NewJoin(3, func(w *Worker) { order = append(order, "cont") })
+		for i := 0; i < 3; i++ {
+			w.Spawn(func(w *Worker) {
+				mu.Add(1)
+				j.Arrive(w)
+			})
+		}
+	})
+	if mu.Load() != 3 || len(order) != 1 {
+		t.Fatalf("arrivals=%d cont=%v", mu.Load(), order)
+	}
+}
+
+func TestPoolReuse(t *testing.T) {
+	p := New(3)
+	for round := 0; round < 5; round++ {
+		var ran atomic.Int32
+		p.Run(func(w *Worker) {
+			for i := 0; i < 50; i++ {
+				w.Spawn(func(w *Worker) { ran.Add(1) })
+			}
+		})
+		if ran.Load() != 50 {
+			t.Fatalf("round %d: ran=%d", round, ran.Load())
+		}
+	}
+}
+
+func TestSingleWorker(t *testing.T) {
+	p := New(1)
+	var ran atomic.Int32
+	p.Run(func(w *Worker) {
+		w.Spawn(func(w *Worker) { ran.Add(1) })
+		w.Spawn(func(w *Worker) { ran.Add(1) })
+	})
+	if ran.Load() != 2 {
+		t.Fatal("single-worker pool lost tasks")
+	}
+}
+
+// Fib computes fib with fork-join continuations: the benchmark pattern.
+func poolFib(p *Pool, n int) int64 {
+	var result int64
+	var fib func(n int, dst *int64, done *JoinCounter) Task
+	fib = func(n int, dst *int64, done *JoinCounter) Task {
+		return func(w *Worker) {
+			if n < 2 {
+				atomic.StoreInt64(dst, int64(n))
+				done.Arrive(w)
+				return
+			}
+			var a, b int64
+			sum := NewJoin(2, func(w *Worker) {
+				atomic.StoreInt64(dst, atomic.LoadInt64(&a)+atomic.LoadInt64(&b))
+				done.Arrive(w)
+			})
+			w.Spawn(fib(n-1, &a, sum))
+			w.Spawn(fib(n-2, &b, sum))
+		}
+	}
+	final := NewJoin(1, func(w *Worker) {})
+	p.Run(fib(n, &result, final))
+	return atomic.LoadInt64(&result)
+}
+
+func TestPoolFib(t *testing.T) {
+	p := New(4)
+	want := []int64{0, 1, 1, 2, 3, 5, 8, 13, 21, 34, 55}
+	for n, w := range want {
+		if got := poolFib(p, n); got != w {
+			t.Fatalf("fib(%d)=%d want %d", n, got, w)
+		}
+	}
+	if got := poolFib(p, 20); got != 6765 {
+		t.Fatalf("fib(20)=%d", got)
+	}
+}
+
+func BenchmarkPoolFib20(b *testing.B) {
+	p := New(4)
+	for i := 0; i < b.N; i++ {
+		if poolFib(p, 20) != 6765 {
+			b.Fatal("wrong")
+		}
+	}
+}
+
+func TestWorkerAccessors(t *testing.T) {
+	p := New(3)
+	if p.Workers() != 3 {
+		t.Fatalf("Workers=%d", p.Workers())
+	}
+	var id int
+	p.Run(func(w *Worker) { id = w.ID() })
+	if id < 0 || id >= 3 {
+		t.Fatalf("worker ID %d out of range", id)
+	}
+}
