@@ -9,6 +9,11 @@
 //	halrun cannon   [-n 240] [-grid 4] [-verify]
 //	halrun cholesky [-n 256] [-b 16] [-nodes 4] [-sync pipelined|seq|bcast]
 //	                [-map cyclic|block] [-flow one-active|ack-all|eager] [-verify]
+//
+// Every subcommand also accepts -faults and -fault-seed to run the
+// workload over a lossy network with the kernel's recovery protocols on
+// (see faults.go); the run then reports a recovery summary and fails if
+// the retry budget was exhausted.
 package main
 
 import (
@@ -63,6 +68,7 @@ func runFib(args []string) error {
 	place := fs.String("place", "dynamic", "child placement: dynamic, local, random")
 	grain := fs.Float64("grain", 1, "per-call compute in µs")
 	stats := fs.Bool("stats", false, "print runtime statistics")
+	applyFaults := faultFlags(fs)
 	_ = fs.Parse(args)
 
 	var p fib.Placement
@@ -78,14 +84,22 @@ func runFib(args []string) error {
 	}
 	cfg := hal.DefaultConfig(*nodes)
 	cfg.LoadBalance = *lb
+	faulty, err := applyFaults(&cfg)
+	if err != nil {
+		return err
+	}
 	res, err := fib.Run(cfg, fib.Config{N: *n, GrainUS: *grain, Place: p})
 	if err != nil {
+		reportRecoveryOnError(faulty, res.Stats, res.Wall)
 		return err
 	}
 	fmt.Printf("fib(%d) = %d  (%d actor calls)\n", *n, res.Value, res.Calls)
 	fmt.Printf("nodes=%d lb=%v place=%s: virtual %v, wall %v\n", *nodes, *lb, p, res.Virtual, res.Wall)
 	if *stats {
 		fmt.Print(res.Stats)
+	}
+	if faulty {
+		return reportRecovery(res.Stats)
 	}
 	return nil
 }
@@ -96,6 +110,7 @@ func runQuad(args []string) error {
 	nodes := fs.Int("nodes", 4, "simulated nodes")
 	place := fs.String("place", "dynamic", "refinement placement: dynamic, partitioned, random")
 	stats := fs.Bool("stats", false, "print runtime statistics")
+	applyFaults := faultFlags(fs)
 	_ = fs.Parse(args)
 
 	var p quad.Placement
@@ -112,14 +127,22 @@ func runQuad(args []string) error {
 	}
 	cfg := hal.DefaultConfig(*nodes)
 	cfg.LoadBalance = lb
+	faulty, err := applyFaults(&cfg)
+	if err != nil {
+		return err
+	}
 	res, err := quad.Run(cfg, quad.Config{Eps: *eps, Place: p})
 	if err != nil {
+		reportRecoveryOnError(faulty, res.Stats, res.Wall)
 		return err
 	}
 	fmt.Printf("∫ sin(1/(x+1e-3)) dx over [0,1] = %.9f  (error vs reference %.2g)\n", res.Value, res.Err)
 	fmt.Printf("nodes=%d place=%s: virtual %v, wall %v\n", *nodes, p, res.Virtual, res.Wall)
 	if *stats {
 		fmt.Print(res.Stats)
+	}
+	if faulty {
+		return reportRecovery(res.Stats)
 	}
 	return nil
 }
@@ -132,10 +155,17 @@ func runPagerank(args []string) error {
 	nodes := fs.Int("nodes", 4, "simulated nodes (= graph parts)")
 	verify := fs.Bool("verify", false, "check ranks against the sequential reference")
 	stats := fs.Bool("stats", false, "print runtime statistics")
+	applyFaults := faultFlags(fs)
 	_ = fs.Parse(args)
 
-	res, err := pagerank.Run(hal.DefaultConfig(*nodes), pagerank.Config{N: *n, AvgDeg: *deg, Iters: *iters}, *verify)
+	cfg := hal.DefaultConfig(*nodes)
+	faulty, err := applyFaults(&cfg)
 	if err != nil {
+		return err
+	}
+	res, err := pagerank.Run(cfg, pagerank.Config{N: *n, AvgDeg: *deg, Iters: *iters}, *verify)
+	if err != nil {
+		reportRecoveryOnError(faulty, res.Stats, res.Wall)
 		return err
 	}
 	top, topRank := 0, 0.0
@@ -153,6 +183,9 @@ func runPagerank(args []string) error {
 	if *stats {
 		fmt.Print(res.Stats)
 	}
+	if faulty {
+		return reportRecovery(res.Stats)
+	}
 	return nil
 }
 
@@ -162,10 +195,17 @@ func runCannon(args []string) error {
 	grid := fs.Int("grid", 4, "grid edge p (p*p nodes)")
 	verify := fs.Bool("verify", false, "check the product against the sequential reference")
 	stats := fs.Bool("stats", false, "print runtime statistics")
+	applyFaults := faultFlags(fs)
 	_ = fs.Parse(args)
 
-	res, err := cannon.Run(hal.DefaultConfig(*grid**grid), cannon.Config{N: *n, P: *grid}, *verify)
+	cfg := hal.DefaultConfig(*grid * *grid)
+	faulty, err := applyFaults(&cfg)
 	if err != nil {
+		return err
+	}
+	res, err := cannon.Run(cfg, cannon.Config{N: *n, P: *grid}, *verify)
+	if err != nil {
+		reportRecoveryOnError(faulty, res.Stats, res.Wall)
 		return err
 	}
 	fmt.Printf("cannon %dx%d on %dx%d grid: virtual %v (%.1f MFLOPS), wall %v\n",
@@ -175,6 +215,9 @@ func runCannon(args []string) error {
 	}
 	if *stats {
 		fmt.Print(res.Stats)
+	}
+	if faulty {
+		return reportRecovery(res.Stats)
 	}
 	return nil
 }
@@ -189,6 +232,7 @@ func runCholesky(args []string) error {
 	flowName := fs.String("flow", "one-active", "bulk flow control: one-active, ack-all, eager")
 	verify := fs.Bool("verify", false, "check L*Lt against the input")
 	stats := fs.Bool("stats", false, "print runtime statistics")
+	applyFaults := faultFlags(fs)
 	_ = fs.Parse(args)
 
 	var sync cholesky.Sync
@@ -222,8 +266,13 @@ func runCholesky(args []string) error {
 	default:
 		return fmt.Errorf("unknown flow mode %q", *flowName)
 	}
+	faulty, err := applyFaults(&cfg)
+	if err != nil {
+		return err
+	}
 	res, err := cholesky.Run(cfg, cholesky.Config{N: *n, B: *b, Sync: sync, Mapping: mapping}, *verify)
 	if err != nil {
+		reportRecoveryOnError(faulty, res.Stats, res.Wall)
 		return err
 	}
 	fmt.Printf("cholesky %dx%d (b=%d) %s/%s flow=%s on %d nodes: virtual %v, wall %v\n",
@@ -233,6 +282,9 @@ func runCholesky(args []string) error {
 	}
 	if *stats {
 		fmt.Print(res.Stats)
+	}
+	if faulty {
+		return reportRecovery(res.Stats)
 	}
 	return nil
 }

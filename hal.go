@@ -33,6 +33,7 @@
 package hal
 
 import (
+	"hal/internal/amnet"
 	"hal/internal/core"
 )
 
@@ -77,6 +78,11 @@ type (
 	// (Machine.Start / Machine.Launch / Program.Wait / Machine.Shutdown
 	// run several programs concurrently, as the paper's kernels do).
 	Program = core.Program
+	// FaultPlan describes deterministic network fault injection
+	// (Config.Faults).  With a plan set the kernel runs its reliable
+	// control-plane protocols: sequencing, retry with backoff, and
+	// bounded escalation to dead letters.
+	FaultPlan = amnet.FaultPlan
 )
 
 // Nil is the invalid mail address.

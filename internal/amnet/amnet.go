@@ -55,7 +55,11 @@ type Packet struct {
 	// VT is the packet's virtual arrival time at the destination, in
 	// microseconds of simulated time (see package core's virtual
 	// clocks).  The network layer carries it untouched.
-	VT      float64
+	VT float64
+	// Seq is a reliability sequence number stamped by the kernel's
+	// reliable-delivery layer when fault injection is on; 0 means
+	// unsequenced.  Like VT, the network carries it untouched.
+	Seq     uint64
 	Payload any
 	Data    []float64
 }
@@ -78,6 +82,10 @@ type Config struct {
 	// SegWords is the number of float64 words per bulk data segment.
 	// Default 512 (4 KiB segments).
 	SegWords int
+	// Faults, when non-nil, injects deterministic delivery faults (see
+	// faults.go).  Nil means a perfect network; the fault-free receive
+	// path costs one extra pointer test per packet.
+	Faults *FaultPlan
 }
 
 func (c *Config) applyDefaults() error {
@@ -93,6 +101,11 @@ func (c *Config) applyDefaults() error {
 	if c.Flow < FlowOneActive || c.Flow > FlowEager {
 		return fmt.Errorf("amnet: invalid flow mode %d", c.Flow)
 	}
+	if c.Faults != nil {
+		if err := c.Faults.applyDefaults(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -102,6 +115,8 @@ type Network struct {
 	cfg      Config
 	eps      []*Endpoint
 	handlers [256]Handler
+	lossless [256]bool
+	observer FaultObserver
 	sealed   atomic.Bool
 }
 
@@ -120,6 +135,9 @@ func NewNetwork(cfg Config) (*Network, error) {
 			inbox: make(chan Packet, cfg.InboxCap),
 		}
 		nw.eps[i].bulk.init(nw.eps[i])
+		if cfg.Faults != nil {
+			nw.eps[i].faults = newEPFaults(cfg.Faults, cfg.Nodes, NodeID(i))
+		}
 	}
 	registerBulkHandlers(nw)
 	return nw, nil
@@ -153,11 +171,12 @@ func (nw *Network) Register(id HandlerID, h Handler) {
 // (PollOne, PollAll, RecvBlock) and all Send calls must come from the
 // single goroutine that owns the node.
 type Endpoint struct {
-	id    NodeID
-	net   *Network
-	inbox chan Packet
-	bulk  bulkState
-	stats Stats
+	id     NodeID
+	net    *Network
+	inbox  chan Packet
+	bulk   bulkState
+	faults *epFaults
+	stats  Stats
 
 	// depth guards against unbounded handler->send->poll->handler
 	// recursion when inboxes are saturated in both directions.
@@ -208,7 +227,10 @@ func (ep *Endpoint) Send(p Packet) {
 		case dst.inbox <- p:
 			return
 		case q := <-ep.inbox:
-			ep.dispatch(q)
+			// The drain runs the fault filter too, but ignores pause
+			// windows: a paused node that refused to drain while blocked
+			// on a full link could deadlock against its peer.
+			ep.receive(q)
 		}
 	}
 }
@@ -241,10 +263,14 @@ func (ep *Endpoint) dispatch(p Packet) {
 }
 
 // PollOne handles at most one pending packet and reports whether it did.
+// During a fault-plan pause window it handles nothing.
 func (ep *Endpoint) PollOne() bool {
+	if f := ep.faults; f != nil && f.pausedNow(ep) {
+		return false
+	}
 	select {
 	case p := <-ep.inbox:
-		ep.dispatch(p)
+		ep.receive(p)
 		return true
 	default:
 		return false
@@ -253,8 +279,25 @@ func (ep *Endpoint) PollOne() bool {
 
 // PollAll drains and handles every packet currently queued, returning the
 // number handled.  Packets that arrive while draining are handled too.
+// Packets delayed by the fault plan on an earlier poll are re-injected
+// first; during a pause window nothing is handled.
 func (ep *Endpoint) PollAll() int {
 	n := 0
+	if f := ep.faults; f != nil {
+		if f.pausedNow(ep) {
+			return 0
+		}
+		if len(f.delayq) > 0 {
+			q := f.delayq
+			f.delayq = nil
+			// Re-injected packets dispatch directly: they already went
+			// through the filter once.
+			for _, p := range q {
+				ep.dispatch(p)
+			}
+			n += len(q)
+		}
+	}
 	for ep.PollOne() {
 		n++
 	}
@@ -270,10 +313,26 @@ func (ep *Endpoint) PollAll() int {
 // returns false if stop closes or the timeout (if positive) expires first.
 // A zero or negative timeout means wait indefinitely.
 func (ep *Endpoint) RecvBlock(stop <-chan struct{}, timeout time.Duration) bool {
+	if f := ep.faults; f != nil {
+		if rem := f.pauseRemaining(ep); rem > 0 {
+			// Paused: sleep out the window (or the caller's timeout,
+			// whichever is shorter) without consuming the inbox.
+			if timeout > 0 && timeout < rem {
+				rem = timeout
+			}
+			t := time.NewTimer(rem)
+			defer t.Stop()
+			select {
+			case <-stop:
+			case <-t.C:
+			}
+			return false
+		}
+	}
 	if timeout <= 0 {
 		select {
 		case p := <-ep.inbox:
-			ep.dispatch(p)
+			ep.receive(p)
 			return true
 		case <-stop:
 			return false
@@ -283,7 +342,7 @@ func (ep *Endpoint) RecvBlock(stop <-chan struct{}, timeout time.Duration) bool 
 	defer t.Stop()
 	select {
 	case p := <-ep.inbox:
-		ep.dispatch(p)
+		ep.receive(p)
 		return true
 	case <-stop:
 		return false
@@ -321,6 +380,13 @@ type Stats struct {
 	BulkRecvs  uint64 // bulk transfers completed (receive side)
 	BulkWords  uint64 // float64 words received in bulk segments
 	BulkQueued uint64 // bulk requests that waited for a grant
+
+	// Fault injection (zero unless Config.Faults is set).
+	Dropped     uint64 // packets discarded by the fault plan
+	Duplicated  uint64 // packets delivered twice by the fault plan
+	Delayed     uint64 // packets parked for out-of-order re-injection
+	Pauses      uint64 // pause windows entered
+	BulkRetries uint64 // bulk requests re-sent after a grant timeout
 }
 
 // Add accumulates other into s.
@@ -333,4 +399,9 @@ func (s *Stats) Add(other Stats) {
 	s.BulkRecvs += other.BulkRecvs
 	s.BulkWords += other.BulkWords
 	s.BulkQueued += other.BulkQueued
+	s.Dropped += other.Dropped
+	s.Duplicated += other.Duplicated
+	s.Delayed += other.Delayed
+	s.Pauses += other.Pauses
+	s.BulkRetries += other.BulkRetries
 }

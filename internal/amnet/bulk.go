@@ -27,6 +27,8 @@ package amnet
 // "packet back-up" effect Table 1 attributes to running without flow
 // control.
 
+import "time"
+
 // FlowMode selects the bulk-transfer acknowledgment policy.
 type FlowMode uint8
 
@@ -74,14 +76,16 @@ type outXfer struct {
 	data  []float64
 	off   int
 	fin   Packet
-	ready bool // granted; segments may flow
+	ready bool      // granted; segments may flow
+	reqAt time.Time // when the request was (re)sent, for fault recovery
 }
 
 type inXfer struct {
 	buf     []float64
 	got     int
 	want    int
-	granted bool // holds the FlowOneActive grant
+	granted bool      // holds the FlowOneActive grant
+	grantAt time.Time // when the grant was issued, for fault recovery
 }
 
 type xferKey struct {
@@ -129,14 +133,37 @@ func (ep *Endpoint) BulkSend(dst NodeID, data []float64, fin Packet) {
 		return
 	}
 
-	b.out = append(b.out, &outXfer{id: id, dst: dst, data: data, fin: fin})
+	x := &outXfer{id: id, dst: dst, data: data, fin: fin}
+	if ep.faults != nil {
+		x.reqAt = time.Now()
+	}
+	b.out = append(b.out, x)
 	ep.Send(Packet{Handler: HBulkReq, Dst: dst, U0: id, U1: uint64(len(data))})
 }
 
 func registerBulkHandlers(nw *Network) {
+	// Data segments and the finishing message model a DMA channel with
+	// link-level reliability: the request/grant handshake is recoverable
+	// (re-request below), the data phase is not, so it is exempt from
+	// fault injection.
+	nw.lossless[HBulkSeg] = true
+	nw.lossless[HBulkFin] = true
 	nw.Register(HBulkReq, func(ep *Endpoint, p Packet) {
 		b := &ep.bulk
+		k := xferKey{src: p.Src, id: p.U0}
+		if b.in[k] != nil {
+			// Duplicate request (fault dup, or a re-request racing the
+			// grant): the transfer is already set up, so just re-send
+			// the grant in case the first one was lost.
+			ep.Send(Packet{Handler: HBulkAck, Dst: p.Src, U0: p.U0})
+			return
+		}
 		if nw.cfg.Flow == FlowOneActive && b.granted > 0 {
+			for _, q := range b.grantQ {
+				if q.Src == p.Src && q.U0 == p.U0 {
+					return // duplicate of a queued request
+				}
+			}
 			ep.stats.BulkQueued++
 			b.grantQ = append(b.grantQ, p)
 			return
@@ -200,9 +227,12 @@ func (ep *Endpoint) grant(req Packet) {
 		x = &inXfer{want: int(req.U1), buf: make([]float64, int(req.U1))}
 		b.in[k] = x
 	}
-	if ep.net.cfg.Flow == FlowOneActive {
+	if ep.net.cfg.Flow == FlowOneActive && !x.granted {
 		b.granted++
 		x.granted = true
+		if ep.faults != nil {
+			x.grantAt = time.Now()
+		}
 	}
 	ep.Send(Packet{Handler: HBulkAck, Dst: req.Src, U0: req.U0})
 }
@@ -211,10 +241,21 @@ func (ep *Endpoint) grant(req Packet) {
 // PE never stalls on bulk data.  Called from PollAll and from the ack
 // handler.  Transfers complete in FIFO order per sender.
 func (b *bulkState) pump(ep *Endpoint) {
+	if f := ep.faults; f != nil && b.granted > 0 {
+		b.reapStaleGrants(ep, f.plan.BulkRetry*4)
+	}
 	seg := ep.net.cfg.SegWords
 	for len(b.out) > 0 {
 		x := b.out[0]
 		if !x.ready {
+			// Under fault injection the request or its grant may have
+			// been lost; re-request after a timeout.  The receiver
+			// dedups, so a merely-slow grant is harmless.
+			if f := ep.faults; f != nil && time.Since(x.reqAt) > f.plan.BulkRetry {
+				x.reqAt = time.Now()
+				ep.stats.BulkRetries++
+				ep.Send(Packet{Handler: HBulkReq, Dst: x.dst, U0: x.id, U1: uint64(len(x.data))})
+			}
 			return // head-of-line transfer not yet granted
 		}
 		for x.off < len(x.data) {
@@ -229,6 +270,28 @@ func (b *bulkState) pump(ep *Endpoint) {
 			return // retry the fin on the next pump
 		}
 		b.out = b.out[1:]
+	}
+}
+
+// reapStaleGrants revokes FlowOneActive grants whose transfer has moved no
+// data within the timeout.  Under fault injection a lost request can
+// scramble grant order: the receiver grants a LATER transfer from a sender
+// that pumps strictly FIFO and is head-of-line blocked on an EARLIER one,
+// wedging the one-active slot.  Revoking is always safe before the first
+// segment: if the sender does push the transfer later, the segment handler
+// rebuilds it ungranted and the payload still arrives intact.
+func (b *bulkState) reapStaleGrants(ep *Endpoint, after time.Duration) {
+	for k, x := range b.in {
+		if !x.granted || x.got > 0 || time.Since(x.grantAt) <= after {
+			continue
+		}
+		delete(b.in, k)
+		b.granted--
+		if len(b.grantQ) > 0 {
+			req := b.grantQ[0]
+			b.grantQ = b.grantQ[1:]
+			ep.grant(req)
+		}
 	}
 }
 

@@ -1,0 +1,131 @@
+package amnet
+
+import (
+	"testing"
+	"time"
+)
+
+// TestPollDiscardDrainsFullInbox fills an inbox to capacity and checks
+// PollDiscard can empty it completely without running handlers — the
+// shutdown path peers rely on to unblock their sends.
+func TestPollDiscardDrainsFullInbox(t *testing.T) {
+	const capPkts = 32
+	nw := newTestNet(t, Config{Nodes: 2, InboxCap: capPkts}, map[HandlerID]Handler{
+		hPing: func(*Endpoint, Packet) { t.Error("handler ran for a discarded packet") },
+	})
+	src, dst := nw.Endpoint(0), nw.Endpoint(1)
+	for i := 0; i < capPkts; i++ {
+		if !src.TrySend(Packet{Handler: hPing, Dst: 1}) {
+			t.Fatalf("inbox full after %d packets, capacity %d", i, capPkts)
+		}
+	}
+	if src.TrySend(Packet{Handler: hPing, Dst: 1}) {
+		t.Fatal("TrySend succeeded past capacity")
+	}
+	n := 0
+	for dst.PollDiscard() {
+		n++
+	}
+	if n != capPkts {
+		t.Fatalf("PollDiscard drained %d packets, want %d", n, capPkts)
+	}
+	if dst.Pending() != 0 {
+		t.Fatalf("Pending=%d after full drain", dst.Pending())
+	}
+	if s := dst.Stats(); s.Received != 0 {
+		t.Errorf("discarded packets counted as received: %d", s.Received)
+	}
+	// The drain opened room, so a previously blocked peer can proceed.
+	if !src.TrySend(Packet{Handler: hPing, Dst: 1}) {
+		t.Fatal("TrySend still failing after drain")
+	}
+	dst.PollDiscard()
+}
+
+// TestRecvBlockTimeoutWithStopArmed checks the timeout fires even while a
+// stop channel is armed but never closed (the node idle loop always passes
+// both).
+func TestRecvBlockTimeoutWithStopArmed(t *testing.T) {
+	nw := newTestNet(t, Config{Nodes: 1}, nil)
+	stop := make(chan struct{})
+	start := time.Now()
+	if nw.Endpoint(0).RecvBlock(stop, 5*time.Millisecond) {
+		t.Fatal("RecvBlock returned true with no traffic")
+	}
+	if elapsed := time.Since(start); elapsed < 2*time.Millisecond {
+		t.Errorf("RecvBlock returned after %v, before the timeout", elapsed)
+	}
+}
+
+// TestSendReentrancyDepthCutoff saturates both directions of a link so a
+// blocked Send drains its own inbox reentrantly, with every drained
+// handler sending into the still-full peer — the recursion must bottom out
+// at exactly maxPollDepth and then block flat instead of growing the stack
+// without bound.
+func TestSendReentrancyDepthCutoff(t *testing.T) {
+	const capPkts = 2 * maxPollDepth
+	maxDepth := 0 // touched only by node 0's goroutine (main)
+	seen := 0     // touched only by node 1's goroutine (drainer)
+	nw := newTestNet(t, Config{Nodes: 2, InboxCap: capPkts}, map[HandlerID]Handler{
+		// hForward runs on node 0; its send into node 1's full inbox
+		// forces Send back into the drain loop one level deeper.
+		hForward: func(ep *Endpoint, p Packet) {
+			if ep.depth > maxDepth {
+				maxDepth = ep.depth
+			}
+			ep.Send(Packet{Handler: hCount, Dst: 1})
+		},
+		hCount: func(*Endpoint, Packet) { seen++ },
+	})
+	ep0, ep1 := nw.Endpoint(0), nw.Endpoint(1)
+
+	// Fill node 1's inbox so every send from node 0 stalls.
+	for i := 0; i < capPkts; i++ {
+		if !ep0.TrySend(Packet{Handler: hCount, Dst: 1}) {
+			t.Fatal("prefill of node 1 failed")
+		}
+	}
+	// Queue forwarding work in node 0's inbox for the drain loop to chew.
+	for i := 0; i < capPkts; i++ {
+		if !ep1.TrySend(Packet{Handler: hForward, Dst: 0}) {
+			t.Fatal("prefill of node 0 failed")
+		}
+	}
+
+	// Everything addressed to node 1: the prefill, the Send below, and one
+	// hCount per hForward.
+	const total = capPkts + 1 + capPkts
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		// Let the recursion on node 0 bottom out before opening room.
+		time.Sleep(20 * time.Millisecond)
+		deadline := time.Now().Add(10 * time.Second)
+		for seen < total {
+			if ep1.PollAll() == 0 {
+				if time.Now().After(deadline) {
+					t.Errorf("drainer stuck: seen=%d want %d", seen, total)
+					return
+				}
+				time.Sleep(10 * time.Microsecond)
+			}
+		}
+	}()
+
+	ep0.Send(Packet{Handler: hCount, Dst: 1})
+	// Flush the hForward packets the bounded recursion left behind.
+	for ep0.Pending() > 0 {
+		ep0.PollAll()
+	}
+	<-done
+
+	if seen != total {
+		t.Fatalf("node 1 handled %d packets, want %d", seen, total)
+	}
+	if maxDepth != maxPollDepth {
+		t.Errorf("reentrant poll depth reached %d, want exactly maxPollDepth=%d", maxDepth, maxPollDepth)
+	}
+	if s := ep0.Stats(); s.SendStalls == 0 {
+		t.Error("no send stalls recorded despite saturated link")
+	}
+}

@@ -239,7 +239,7 @@ func Run(mcfg hal.Config, cfg Config, verify bool) (Result, error) {
 	if verify {
 		got, ok := v.(*linalg.Matrix)
 		if !ok {
-			return Result{}, fmt.Errorf("cannon: unexpected result %T", v)
+			return res, fmt.Errorf("cannon: unexpected result %T", v)
 		}
 		res.MaxErr = linalg.MaxAbsDiff(got, linalg.Mul(a, bm))
 	}

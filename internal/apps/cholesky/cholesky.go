@@ -381,7 +381,7 @@ func Run(mcfg hal.Config, cfg Config, verify bool) (Result, error) {
 	if verify {
 		l, ok := v.(*linalg.Matrix)
 		if !ok {
-			return Result{}, fmt.Errorf("cholesky: unexpected result %T", v)
+			return res, fmt.Errorf("cholesky: unexpected result %T", v)
 		}
 		res.MaxErr = linalg.MaxAbsDiff(linalg.Mul(l, linalg.Transpose(l)), a)
 	}

@@ -168,7 +168,11 @@ func Run(mcfg hal.Config, cfg Config) (Result, error) {
 	}
 	value, ok := v.(int)
 	if !ok {
-		return Result{}, fmt.Errorf("fib: unexpected result %T", v)
+		// The machine quiesced without delivering the result (under fault
+		// injection: the reply was dead-lettered).  Return the stats so the
+		// caller can report what the recovery machinery saw.
+		return Result{Wall: wall, Virtual: m.VirtualTime(), Stats: m.Stats()},
+			fmt.Errorf("fib: unexpected result %T", v)
 	}
 	return Result{
 		Value:   value,

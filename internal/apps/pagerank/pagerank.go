@@ -296,7 +296,8 @@ func Run(mcfg hal.Config, cfg Config, verify bool) (Result, error) {
 	}
 	ranks, ok := v.([]float64)
 	if !ok {
-		return Result{}, fmt.Errorf("pagerank: unexpected result %T", v)
+		return Result{MaxErr: -1, Wall: wall, Virtual: m.VirtualTime(), Stats: m.Stats()},
+			fmt.Errorf("pagerank: unexpected result %T", v)
 	}
 	res := Result{Ranks: ranks, MaxErr: -1, Wall: wall, Virtual: m.VirtualTime(), Stats: m.Stats()}
 	if verify {

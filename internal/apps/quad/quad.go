@@ -201,7 +201,8 @@ func Run(mcfg hal.Config, cfg Config) (Result, error) {
 	}
 	value, ok := v.(float64)
 	if !ok {
-		return Result{}, fmt.Errorf("quad: unexpected result %T", v)
+		return Result{Wall: wall, Virtual: m.VirtualTime(), Stats: m.Stats()},
+			fmt.Errorf("quad: unexpected result %T", v)
 	}
 	return Result{
 		Value:   value,

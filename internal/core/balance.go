@@ -35,7 +35,10 @@ func (n *node) sendSteal() {
 	}
 	n.stealOut = true
 	n.stats.StealReqs++
-	n.ep.Send(amnet.Packet{Handler: hStealReq, Dst: n.randomVictim(), VT: n.stamp(0)})
+	if n.m.relOn {
+		n.stealSent = time.Now()
+	}
+	n.sendCtl(amnet.Packet{Handler: hStealReq, Dst: n.randomVictim(), VT: n.stamp(0)}, nil, 0, 0)
 }
 
 // handleStealReq serves a thief from the front (oldest) of the spawn
@@ -51,10 +54,11 @@ func (n *node) handleStealReq(thief amnet.NodeID, vt float64) {
 			rec.vt = vt
 		}
 		rec.vt += n.m.costs.Steal + n.m.costs.NetLatency
-		n.ep.Send(amnet.Packet{Handler: hStealGrant, Dst: thief, VT: rec.vt, Payload: rec})
+		// The granted record is one accounted (deferred-creation) unit.
+		n.sendCtl(amnet.Packet{Handler: hStealGrant, Dst: thief, VT: rec.vt, Payload: rec}, rec.prog, 1, 1)
 		return
 	}
-	n.ep.Send(amnet.Packet{Handler: hStealDeny, Dst: thief, VT: vt + n.m.costs.Steal + n.m.costs.NetLatency})
+	n.sendCtl(amnet.Packet{Handler: hStealDeny, Dst: thief, VT: vt + n.m.costs.Steal + n.m.costs.NetLatency}, nil, 0, 0)
 }
 
 func (n *node) handleStealGrant(rec *spawnRecord) {

@@ -1,10 +1,14 @@
 package core
 
 import (
+	"flag"
+	"fmt"
 	"math/rand"
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"hal/internal/amnet"
 )
 
 // The chaos test drives the kernel with a randomized mixture of every
@@ -110,26 +114,7 @@ func TestChaos(t *testing.T) {
 			cfg := cfgCase.cfg
 			cfg.StallTimeout = 30 * time.Second
 			m := testMachine(t, cfg)
-			st := &chaosStats{}
-			var typ TypeID
-			seed := int64(12345)
-			typ = m.RegisterType("chaos", func(args []any) Behavior {
-				depth := 0
-				if len(args) > 2 {
-					// group member: args are [idx, group, depth]
-					depth = args[2].(int)
-				} else if len(args) > 0 {
-					if d, ok := args[0].(int); ok {
-						depth = d
-					}
-				}
-				return &chaosActor{
-					rng:   rand.New(rand.NewSource(atomic.AddInt64(&seed, 1))),
-					typ:   typ,
-					depth: depth,
-					stats: st,
-				}
-			})
+			st, typ := registerChaosType(m, 12345)
 			_, err := m.Run(func(ctx *Context) {
 				for i := 0; i < 6; i++ {
 					ctx.Send(ctx.NewAuto(typ, 4), selChaos)
@@ -147,6 +132,95 @@ func TestChaos(t *testing.T) {
 			t.Logf("delivered=%d spawned=%d deadletters=%d migrations=%d steals=%d",
 				st.delivered.Load(), st.spawned.Load(), s.Total.DeadLetters,
 				s.Total.Migrations, s.Total.StealHits)
+		})
+	}
+}
+
+// registerChaosType wires a chaosActor type into m with per-actor RNGs
+// derived from seed.
+func registerChaosType(m *Machine, seed int64) (*chaosStats, TypeID) {
+	st := &chaosStats{}
+	var typ TypeID
+	typ = m.RegisterType("chaos", func(args []any) Behavior {
+		depth := 0
+		if len(args) > 2 {
+			// group member: args are [idx, group, depth]
+			depth = args[2].(int)
+		} else if len(args) > 0 {
+			if d, ok := args[0].(int); ok {
+				depth = d
+			}
+		}
+		return &chaosActor{
+			rng:   rand.New(rand.NewSource(atomic.AddInt64(&seed, 1))),
+			typ:   typ,
+			depth: depth,
+			stats: st,
+		}
+	})
+	return st, typ
+}
+
+// chaosSeed overrides the fault-injection seeds of TestChaosFaults, to
+// reproduce a failure: go test -run TestChaosFaults -chaos.seed=N
+var chaosSeed = flag.Int64("chaos.seed", 0, "fault seed override for TestChaosFaults (0 = built-in seeds)")
+
+// TestChaosFaults runs the same randomized workload over a faulty network:
+// control packets drop, duplicate, and reorder, and one node periodically
+// stops polling.  The reliable control plane must absorb all of it — the
+// machine quiesces without a stall and every accounted actor-level message
+// is delivered exactly once or dead-lettered (live count back to zero,
+// nothing stranded).
+func TestChaosFaults(t *testing.T) {
+	seeds := []int64{1, 0x5eed, 987654321}
+	if *chaosSeed != 0 {
+		seeds = []int64{*chaosSeed}
+	}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			cfg := Config{
+				Nodes:        4,
+				LoadBalance:  true,
+				StallTimeout: 60 * time.Second,
+				Faults: &amnet.FaultPlan{
+					Drop:       0.02,
+					Dup:        0.02,
+					Delay:      0.05,
+					PauseEvery: 2 * time.Millisecond,
+					PauseDur:   500 * time.Microsecond,
+					PauseNodes: []amnet.NodeID{1},
+					Seed:       seed,
+				},
+			}
+			m := testMachine(t, cfg)
+			st, typ := registerChaosType(m, seed)
+			_, err := m.Run(func(ctx *Context) {
+				for i := 0; i < 10; i++ {
+					ctx.Send(ctx.NewAuto(typ, 5), selChaos)
+				}
+			})
+			if err != nil {
+				t.Fatalf("faulty chaos run failed (reproduce: -chaos.seed=%d): %v\n%s",
+					seed, err, m.DebugDump())
+			}
+			if live := m.live.Load(); live != 0 {
+				t.Fatalf("quiesced with %d live units (reproduce: -chaos.seed=%d)", live, seed)
+			}
+			if st.delivered.Load() == 0 {
+				t.Fatal("chaos did nothing")
+			}
+			s := m.Stats()
+			if s.Total.Dropped+s.Total.Duplicated+s.Total.Delayed == 0 {
+				t.Fatalf("fault plan injected nothing (seed=%d)", seed)
+			}
+			if s.Total.Dropped > 0 && s.Total.Retries == 0 {
+				t.Errorf("packets dropped but nothing retried (seed=%d)", seed)
+			}
+			t.Logf("seed=%d delivered=%d deadletters=%d | dropped=%d dup=%d delayed=%d pauses=%d dedup=%d retries=%d exhausted=%d bulkretry=%d",
+				seed, st.delivered.Load(), s.Total.DeadLetters,
+				s.Total.Dropped, s.Total.Duplicated, s.Total.Delayed, s.Total.Net.Pauses,
+				s.Total.DupsFiltered, s.Total.Retries, s.Total.RetryExhausted, s.Total.Net.BulkRetries)
 		})
 	}
 }

@@ -87,6 +87,27 @@ type Config struct {
 	// seed selects a fixed default, keeping runs reproducible.
 	Seed int64
 
+	// Faults, when non-nil, injects deterministic network faults (drop,
+	// duplication, delay, node pauses — see amnet.FaultPlan) and arms
+	// the kernel's reliable-delivery layer (reliable.go): control
+	// packets are sequenced, deduplicated, acknowledged, and retried
+	// with backoff, escalating to dead letters when RetryBudget runs
+	// out.  Nil (the default) keeps the fault-free fast path: no
+	// sequencing, no acks, no retry state.  A zero Faults.Seed inherits
+	// Seed.  The plan is normalized in place and may be shared across
+	// machines.
+	Faults *amnet.FaultPlan
+
+	// RetryBase is the first retransmit timeout of an unacknowledged
+	// control packet (fault injection only).  Default 500µs.
+	RetryBase time.Duration
+	// RetryMax caps the exponential backoff between retransmits.
+	// Default 10ms.
+	RetryMax time.Duration
+	// RetryBudget is how many retransmissions a control packet gets
+	// before it is abandoned and dead-lettered.  Default 24.
+	RetryBudget int
+
 	// Out receives front-end output (ctx.Printf).  Default os.Stdout.
 	Out io.Writer
 
@@ -136,6 +157,21 @@ func (c *Config) applyDefaults() error {
 	}
 	if c.Seed == 0 {
 		c.Seed = 0x1e3779b97f4a7c15
+	}
+	if c.Faults != nil && c.Faults.Seed == 0 {
+		c.Faults.Seed = c.Seed
+	}
+	if c.RetryBase <= 0 {
+		c.RetryBase = 500 * time.Microsecond
+	}
+	if c.RetryMax < c.RetryBase {
+		c.RetryMax = 10 * time.Millisecond
+		if c.RetryMax < c.RetryBase {
+			c.RetryMax = c.RetryBase
+		}
+	}
+	if c.RetryBudget <= 0 {
+		c.RetryBudget = 24
 	}
 	if c.Out == nil {
 		c.Out = os.Stdout

@@ -48,12 +48,12 @@ func (n *node) createRemote(dst amnet.NodeID, t TypeID, args []any, prog *Progra
 	n.stats.CreatesRemote++
 	n.charge(n.m.costs.CreateAlias)
 	n.m.incLive(prog, 1)
-	n.ep.Send(amnet.Packet{
+	n.sendCtl(amnet.Packet{
 		Handler: hCreate,
 		Dst:     dst,
 		VT:      n.stamp(0),
 		Payload: &spawnRecord{alias: alias, typ: t, args: args, prog: prog},
-	})
+	}, prog, 1, 1)
 	return alias
 }
 

@@ -129,10 +129,14 @@ func (n *node) netSendMsg(dst amnet.NodeID, msg *Message) {
 			// for the whole transfer (Table 1's pathology).
 			n.charge(float64(len(data)) * n.m.costs.PerWord)
 		}
+		// The bulk data phase is lossless (see amnet faults.go); only the
+		// handshake needs recovery, which the bulk layer does itself.
 		n.ep.BulkSend(dst, data, amnet.Packet{Handler: hDeliverMsg, VT: vt, Payload: msg})
 		return
 	}
-	n.ep.Send(amnet.Packet{Handler: hDeliverMsg, Dst: dst, VT: vt, Payload: msg})
+	// The message is one accounted live unit; if delivery proves
+	// impossible under faults it must retire as a dead letter.
+	n.sendCtl(amnet.Packet{Handler: hDeliverMsg, Dst: dst, VT: vt, Payload: msg}, msg.prog, 1, 1)
 }
 
 // hold parks msg on an unresolved descriptor.
@@ -221,11 +225,11 @@ func (n *node) sendCacheUpdate(msg *Message, seq uint64) {
 		return
 	}
 	n.stats.CacheUpdates++
-	n.ep.Send(amnet.Packet{
+	n.sendCtl(amnet.Packet{
 		Handler: hCacheUpdate,
 		Dst:     msg.origin,
 		Payload: cacheUpdate{addr: msg.To, node: n.id, seq: seq},
-	})
+	}, nil, 0, 0)
 }
 
 // applyCacheUpdate installs a remote descriptor address learned from a
@@ -277,11 +281,11 @@ func (n *node) maybeSendFIR(ld *names.LD, addr Addr) {
 	ld.FIRSent = true
 	n.stats.FIRSent++
 	n.trace(EvFIRSent, addr, ld.RNode)
-	n.ep.Send(amnet.Packet{
+	n.sendCtl(amnet.Packet{
 		Handler: hFIR,
 		Dst:     ld.RNode,
 		Payload: firReq{addr: addr, path: []amnet.NodeID{n.id}},
-	})
+	}, nil, 0, 0)
 }
 
 // handleFIR processes a forwarding information request at this node.
@@ -314,7 +318,7 @@ func (n *node) handleFIR(req firReq) {
 		// Relay one hop further along the migration history.
 		n.stats.FIRRelayed++
 		req.path = append(req.path, n.id)
-		n.ep.Send(amnet.Packet{Handler: hFIR, Dst: ld.RNode, Payload: req})
+		n.sendCtl(amnet.Packet{Handler: hFIR, Dst: ld.RNode, Payload: req}, nil, 0, 0)
 	case names.LDInTransit, names.LDUnresolved, names.LDAliasPending:
 		// We don't know the answer yet either; park the request, it is
 		// re-relayed when this descriptor resolves.
@@ -331,11 +335,11 @@ func (n *node) answerFIR(req firReq, node amnet.NodeID, seq uint64) {
 			n.applyCacheUpdate(req.addr, node, seq)
 			continue
 		}
-		n.ep.Send(amnet.Packet{
+		n.sendCtl(amnet.Packet{
 			Handler: hFIRFound,
 			Dst:     p,
 			Payload: cacheUpdate{addr: req.addr, node: node, seq: seq},
-		})
+		}, nil, 0, 0)
 	}
 }
 
@@ -373,7 +377,7 @@ func (n *node) releaseHeld(ld *names.LD, addr Addr) {
 			default:
 				n.stats.FIRRelayed++
 				v.path = append(v.path, n.id)
-				n.ep.Send(amnet.Packet{Handler: hFIR, Dst: ld.RNode, Payload: v})
+				n.sendCtl(amnet.Packet{Handler: hFIR, Dst: ld.RNode, Payload: v}, nil, 0, 0)
 			}
 		}
 	}

@@ -79,7 +79,15 @@ func (n *node) handleGroupCreate(gc groupCreate, vt float64) {
 	p := len(n.m.nodes)
 	n.treeBuf = amnet.TreeChildren(n.treeBuf[:0], gc.g.Birth, n.id, p)
 	for _, c := range n.treeBuf {
-		n.ep.Send(amnet.Packet{Handler: hGroupCreate, Dst: c, VT: vt + n.m.costs.NetLatency, Payload: gc})
+		pkt := amnet.Packet{Handler: hGroupCreate, Dst: c, VT: vt + n.m.costs.NetLatency, Payload: gc}
+		if n.m.relOn {
+			// A lost fan-out packet strands one accounted creation per
+			// member homed anywhere in the child's subtree.
+			cnt := subtreeMembers(gc.g, gc.g.Birth, c, p)
+			n.sendCtlUnits(pkt, relUnit{prog: gc.prog, live: cnt, letters: uint64(cnt)}, nil)
+		} else {
+			n.ep.Send(pkt)
+		}
 	}
 	e := &groupEntry{g: gc.g}
 	for i := 0; i < gc.g.N; i++ {
@@ -128,7 +136,14 @@ func (n *node) handleBcast(bw *bcastWork, vt float64) {
 	hopVT := vt + n.m.costs.NetLatency + float64(len(bw.msg.Data))*n.m.costs.PerWord
 	for _, c := range n.treeBuf {
 		n.stats.BcastRelays++
-		n.ep.Send(amnet.Packet{Handler: hGroupCast, Dst: c, VT: hopVT, Payload: bw})
+		pkt := amnet.Packet{Handler: hGroupCast, Dst: c, VT: hopVT, Payload: bw}
+		if n.m.relOn {
+			// One accounted delivery per member in the child's subtree.
+			cnt := subtreeMembers(bw.g, bw.root, c, p)
+			n.sendCtlUnits(pkt, relUnit{prog: bw.msg.prog, live: cnt, letters: uint64(cnt)}, nil)
+		} else {
+			n.ep.Send(pkt)
+		}
 	}
 	if _, known := n.groups[bw.g.ID]; !known {
 		n.pendingCasts[bw.g.ID] = append(n.pendingCasts[bw.g.ID], pendingCast{bw: bw, vt: vt})

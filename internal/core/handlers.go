@@ -28,12 +28,39 @@ const (
 	hGroupCast
 	hReply
 	hLoadProgram
+	hCtlAck
 )
 
 func registerKernelHandlers(m *Machine) {
 	at := func(ep *amnet.Endpoint) *node { return m.nodes[ep.ID()] }
 
-	m.nw.Register(hDeliverMsg, func(ep *amnet.Endpoint, p amnet.Packet) {
+	// Under fault injection, kernel packets arrive sequenced (Packet.Seq
+	// != 0, see reliable.go): acknowledge each one and suppress
+	// duplicates BEFORE the handler runs, so every handler below behaves
+	// exactly-once without being individually idempotent.  Fault-free,
+	// the wrapper costs one branch.
+	reg := func(id amnet.HandlerID, h amnet.Handler) {
+		m.nw.Register(id, func(ep *amnet.Endpoint, p amnet.Packet) {
+			if p.Seq != 0 {
+				n := at(ep)
+				ok := n.rel.accept(p.Src, p.Seq)
+				n.ackCtl(p.Src, p.Seq)
+				if !ok {
+					n.stats.DupsFiltered++
+					n.trace(EvDedup, Nil, p.Src)
+					return
+				}
+			}
+			h(ep, p)
+		})
+	}
+
+	// Acks themselves are unsequenced and idempotent.
+	m.nw.Register(hCtlAck, func(ep *amnet.Endpoint, p amnet.Packet) {
+		at(ep).handleCtlAck(p.Src, p.U0)
+	})
+
+	reg(hDeliverMsg, func(ep *amnet.Endpoint, p amnet.Packet) {
 		n := at(ep)
 		msg := p.Payload.(*Message)
 		msg.vt = p.VT
@@ -47,12 +74,12 @@ func registerKernelHandlers(m *Machine) {
 		n.deliverHere(msg)
 	})
 
-	m.nw.Register(hCacheUpdate, func(ep *amnet.Endpoint, p amnet.Packet) {
+	reg(hCacheUpdate, func(ep *amnet.Endpoint, p amnet.Packet) {
 		cu := p.Payload.(cacheUpdate)
 		at(ep).applyCacheUpdate(cu.addr, cu.node, cu.seq)
 	})
 
-	m.nw.Register(hCreate, func(ep *amnet.Endpoint, p amnet.Packet) {
+	reg(hCreate, func(ep *amnet.Endpoint, p amnet.Packet) {
 		// Queue the creation through the dispatcher heap instead of
 		// serving it at (real) arrival time: its stamp may lie in this
 		// node's virtual future, and instantiating early would drag the
@@ -63,7 +90,7 @@ func registerKernelHandlers(m *Machine) {
 		n.ready.Push(task{spawn: rec}, rec.vt)
 	})
 
-	m.nw.Register(hAliasBind, func(ep *amnet.Endpoint, p amnet.Packet) {
+	reg(hAliasBind, func(ep *amnet.Endpoint, p amnet.Packet) {
 		n := at(ep)
 		ab := p.Payload.(aliasBind)
 		if ld := n.arena.Get(ab.alias.Seq); ld != nil && ld.State != names.LDLocal {
@@ -71,49 +98,49 @@ func registerKernelHandlers(m *Machine) {
 		}
 	})
 
-	m.nw.Register(hFIR, func(ep *amnet.Endpoint, p amnet.Packet) {
+	reg(hFIR, func(ep *amnet.Endpoint, p amnet.Packet) {
 		at(ep).handleFIR(p.Payload.(firReq))
 	})
 
-	m.nw.Register(hFIRFound, func(ep *amnet.Endpoint, p amnet.Packet) {
+	reg(hFIRFound, func(ep *amnet.Endpoint, p amnet.Packet) {
 		cu := p.Payload.(cacheUpdate)
 		at(ep).applyCacheUpdate(cu.addr, cu.node, cu.seq)
 	})
 
-	m.nw.Register(hMigrate, func(ep *amnet.Endpoint, p amnet.Packet) {
+	reg(hMigrate, func(ep *amnet.Endpoint, p amnet.Packet) {
 		at(ep).handleMigrate(p.Src, p.Payload.(*migBundle), p.VT)
 	})
 
-	m.nw.Register(hMigrateAck, func(ep *amnet.Endpoint, p amnet.Packet) {
+	reg(hMigrateAck, func(ep *amnet.Endpoint, p amnet.Packet) {
 		cu := p.Payload.(cacheUpdate)
 		at(ep).applyCacheUpdate(cu.addr, cu.node, cu.seq)
 	})
 
-	m.nw.Register(hStealReq, func(ep *amnet.Endpoint, p amnet.Packet) {
+	reg(hStealReq, func(ep *amnet.Endpoint, p amnet.Packet) {
 		at(ep).handleStealReq(p.Src, p.VT)
 	})
 
-	m.nw.Register(hStealGrant, func(ep *amnet.Endpoint, p amnet.Packet) {
+	reg(hStealGrant, func(ep *amnet.Endpoint, p amnet.Packet) {
 		at(ep).handleStealGrant(p.Payload.(*spawnRecord))
 	})
 
-	m.nw.Register(hStealDeny, func(ep *amnet.Endpoint, p amnet.Packet) {
+	reg(hStealDeny, func(ep *amnet.Endpoint, p amnet.Packet) {
 		at(ep).handleStealDeny(p.VT)
 	})
 
-	m.nw.Register(hGroupCreate, func(ep *amnet.Endpoint, p amnet.Packet) {
+	reg(hGroupCreate, func(ep *amnet.Endpoint, p amnet.Packet) {
 		at(ep).handleGroupCreate(p.Payload.(groupCreate), p.VT)
 	})
 
-	m.nw.Register(hGroupCast, func(ep *amnet.Endpoint, p amnet.Packet) {
+	reg(hGroupCast, func(ep *amnet.Endpoint, p amnet.Packet) {
 		at(ep).handleBcast(p.Payload.(*bcastWork), p.VT)
 	})
 
-	m.nw.Register(hReply, func(ep *amnet.Endpoint, p amnet.Packet) {
+	reg(hReply, func(ep *amnet.Endpoint, p amnet.Packet) {
 		at(ep).applyReply(p.U0, int32(uint32(p.U1)), p.Payload.(replyEnvelope), p.VT)
 	})
 
-	m.nw.Register(hLoadProgram, func(ep *amnet.Endpoint, p amnet.Packet) {
+	reg(hLoadProgram, func(ep *amnet.Endpoint, p amnet.Packet) {
 		at(ep).handleLoadProgram(p.Payload.(progLaunch))
 	})
 }

@@ -138,12 +138,12 @@ func (n *node) sendReply(rt ReplyTo, v any, prog *Program) {
 		n.applyReply(rt.JC, rt.Slot, replyEnvelope{v: v, prog: prog}, n.vclock)
 		return
 	}
-	n.ep.Send(amnet.Packet{
+	n.sendCtl(amnet.Packet{
 		Handler: hReply,
 		Dst:     rt.Node,
 		U0:      rt.JC,
 		U1:      uint64(uint32(rt.Slot)),
 		VT:      n.stamp(0),
 		Payload: replyEnvelope{v: v, prog: prog},
-	})
+	}, prog, 1, 1)
 }

@@ -30,6 +30,14 @@ type Machine struct {
 	costs      CostModel
 	pace       pacer
 
+	// relOn is set when cfg.Faults is non-nil: kernel packets are
+	// sequenced and retried (reliable.go).
+	relOn bool
+	// relExhausted latches when any node abandoned a control packet
+	// after its retry budget; it turns a subsequent stall into a clear
+	// diagnosis and lets callers distinguish degraded success.
+	relExhausted atomic.Bool
+
 	// live counts undone work: queued messages, held messages, deferred
 	// creations, scheduled continuations.  Quiescence (live == 0) ends a
 	// run.
@@ -85,6 +93,7 @@ func NewMachine(cfg Config) (*Machine, error) {
 		InboxCap: cfg.InboxCap,
 		Flow:     cfg.Flow,
 		SegWords: cfg.SegWords,
+		Faults:   cfg.Faults,
 	})
 	if err != nil {
 		return nil, err
@@ -103,6 +112,28 @@ func NewMachine(cfg Config) (*Machine, error) {
 	}
 	m.frontEP = nw.Endpoint(amnet.NodeID(cfg.Nodes))
 	registerKernelHandlers(m)
+	if cfg.Faults != nil {
+		m.relOn = true
+		// Program loading models the front end writing the executable
+		// into each PE's memory, not network traffic.
+		nw.MarkLossless(hLoadProgram)
+		nw.SetFaultObserver(func(dst amnet.NodeID, kind amnet.FaultKind, p amnet.Packet) {
+			if int(dst) >= len(m.nodes) {
+				return // front-end endpoint
+			}
+			n := m.nodes[dst]
+			switch kind {
+			case amnet.FaultDrop:
+				n.trace(EvFaultDrop, Nil, p.Src)
+			case amnet.FaultDup:
+				n.trace(EvFaultDup, Nil, p.Src)
+			case amnet.FaultDelay:
+				n.trace(EvFaultDelay, Nil, p.Src)
+			case amnet.FaultPause:
+				n.trace(EvFaultPause, Nil, amnet.NoNode)
+			}
+		})
+	}
 	return m, nil
 }
 
@@ -244,7 +275,11 @@ func (m *Machine) monitor(stop <-chan struct{}, done <-chan struct{}) {
 				// The nodes are parked, but this read is technically
 				// racy; it is diagnostic text only.
 				m.stallDump = m.dumpLocked()
-				m.finish(fmt.Errorf("%w: %d work item(s) remain", ErrStalled, live))
+				err := fmt.Errorf("%w: %d work item(s) remain", ErrStalled, live)
+				if m.relExhausted.Load() {
+					err = fmt.Errorf("%w (control-plane retry budget exhausted under fault injection; see NodeStats.RetryExhausted)", err)
+				}
+				m.finish(err)
 				return
 			}
 		} else {
@@ -265,11 +300,21 @@ func (m *Machine) Stats() MachineStats {
 	for i, n := range m.nodes {
 		s := n.stats
 		s.Net = n.ep.Stats()
+		// Mirror the network-layer fault counters into the node's own
+		// stats so MachineStats.Total reports recovery work directly.
+		s.Dropped = s.Net.Dropped
+		s.Duplicated = s.Net.Duplicated
+		s.Delayed = s.Net.Delayed
 		out.PerNode[i] = s
 		out.Total.add(s)
 	}
 	return out
 }
+
+// RetryExhausted reports whether any node abandoned a control packet
+// after exhausting its retry budget (fault injection only): the run may
+// have completed, but with dead-lettered control work.
+func (m *Machine) RetryExhausted() bool { return m.relExhausted.Load() }
 
 // node returns node id's kernel; exported lookups go through Context.
 func (m *Machine) node(id amnet.NodeID) *node { return m.nodes[id] }

@@ -69,7 +69,22 @@ func (n *node) startMigration(a *Actor) {
 	a.dead = true // the local husk; the identity lives on at dst
 
 	n.m.incLive(a.prog, 1)
-	n.ep.Send(amnet.Packet{Handler: hMigrate, Dst: dst, VT: n.stamp(0), Payload: bundle})
+	pkt := amnet.Packet{Handler: hMigrate, Dst: dst, VT: n.stamp(0), Payload: bundle}
+	if !n.m.relOn {
+		n.ep.Send(pkt)
+		return
+	}
+	// A lost bundle strands the bundle unit AND every queued message; the
+	// receiver recycles messages after dispatch, so capture their
+	// accounting now rather than chase pointers at escalation time.
+	extra := make([]relUnit, 0, len(bundle.msgs)+len(bundle.pending))
+	for _, ms := range bundle.msgs {
+		extra = append(extra, relUnit{prog: ms.prog, live: 1, letters: 1})
+	}
+	for _, ms := range bundle.pending {
+		extra = append(extra, relUnit{prog: ms.prog, live: 1, letters: 1})
+	}
+	n.sendCtlUnits(pkt, relUnit{prog: a.prog, live: 1, letters: 0}, extra)
 }
 
 // handleMigrate installs a migrated-in actor, re-registers its addresses,
@@ -167,27 +182,27 @@ func (n *node) handleMigrate(src amnet.NodeID, bundle *migBundle, vt float64) {
 		}
 	}
 
-	n.ep.Send(amnet.Packet{
+	n.sendCtl(amnet.Packet{
 		Handler: hMigrateAck,
 		Dst:     src,
 		Payload: cacheUpdate{addr: a.addr, node: n.id, seq: seq},
-	})
+	}, nil, 0, 0)
 	if a.addr.Birth != src && a.addr.Birth != n.id {
-		n.ep.Send(amnet.Packet{
+		n.sendCtl(amnet.Packet{
 			Handler: hCacheUpdate,
 			Dst:     a.addr.Birth,
 			Payload: cacheUpdate{addr: a.addr, node: n.id, seq: seq},
-		})
+		}, nil, 0, 0)
 	}
 	// The alias's birthplace needs the update even when it IS the old
 	// home (src): the ack above only names the ordinary address, and a
 	// co-located alias descriptor forwards independently.
 	if !a.alias.IsNil() && a.alias.Birth != n.id {
-		n.ep.Send(amnet.Packet{
+		n.sendCtl(amnet.Packet{
 			Handler: hCacheUpdate,
 			Dst:     a.alias.Birth,
 			Payload: cacheUpdate{addr: a.alias, node: n.id, seq: seq},
-		})
+		}, nil, 0, 0)
 	}
 	n.flushPendingAddr(a.addr)
 	if !a.alias.IsNil() {

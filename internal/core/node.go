@@ -77,6 +77,11 @@ type node struct {
 	stealOut     bool // a steal request is outstanding
 	stealBackoff time.Duration
 	nextSteal    time.Time // backoff gate for the next steal attempt
+	stealSent    time.Time // when the outstanding request left (fault mode)
+
+	// rel is the reliable-channel state (reliable.go); consulted only
+	// when the machine runs with fault injection.
+	rel relState
 
 	treeBuf  []amnet.NodeID
 	groupSeq uint64
@@ -109,6 +114,8 @@ func newNode(m *Machine, id amnet.NodeID) *node {
 	}
 	n.events.init(m.cfg.TraceBuffer)
 	n.jc.init()
+	// Peers include the front-end endpoint (index cfg.Nodes).
+	n.rel.init(m.cfg.Nodes + 1)
 	n.ctx = Context{n: n}
 	return n
 }
@@ -132,6 +139,9 @@ func (n *node) run() {
 			runtime.Gosched()
 		}
 		progressed := n.ep.PollAll() > 0
+		if n.m.relOn && len(n.rel.pending) > 0 {
+			n.pumpRetries()
+		}
 
 		if n.ready.Len() > 0 || n.spawnq.Len() > 0 {
 			// About to start work: publish our state and respect the
@@ -169,8 +179,28 @@ func (n *node) idle() {
 		// An outbound transfer needs re-pumping; don't sleep long.
 		timeout = 20 * time.Microsecond
 	}
+	if n.m.relOn {
+		if len(n.rel.pending) > 0 {
+			// Unacknowledged control packets: wake in time to retry.
+			if timeout == 0 || n.m.cfg.RetryBase < timeout {
+				timeout = n.m.cfg.RetryBase
+			}
+		}
+		if n.ep.FaultBacklog() > 0 {
+			// Delayed packets re-inject only on a poll; don't park long.
+			if timeout == 0 || 20*time.Microsecond < timeout {
+				timeout = 20 * time.Microsecond
+			}
+		}
+	}
 	polling := n.m.cfg.LoadBalance && n.m.live.Load() > 0 && n.spawnq.Empty()
 	if polling {
+		if n.stealOut && n.m.relOn && !n.stealSent.IsZero() && time.Since(n.stealSent) > n.m.cfg.RetryMax*8 {
+			// The request or its grant exceeded any plausible recovery
+			// time (lost victim escalation, or a grant dead-lettered on
+			// the victim).  Poll anew; a late grant still lands safely.
+			n.stealOut = false
+		}
 		if !n.stealOut {
 			n.sendSteal()
 		}
@@ -216,6 +246,9 @@ func (n *node) purge() {
 	clear(n.pendingCasts)
 	n.stealOut = false
 	n.nextSteal = time.Time{}
+	n.stealSent = time.Time{}
+	n.rel.reset()
+	n.ep.FaultReset()
 	n.arena.ForEach(func(seq uint64, ld *names.LD) {
 		ld.Held = nil
 		ld.FIRSent = false
@@ -455,11 +488,11 @@ func (n *node) instantiate(rec *spawnRecord) {
 	n.stats.CreatesServed++
 	n.trace(EvCreateServed, rec.alias, rec.alias.Birth)
 	if rec.alias.Birth != n.id {
-		n.ep.Send(amnet.Packet{
+		n.sendCtl(amnet.Packet{
 			Handler: hAliasBind,
 			Dst:     rec.alias.Birth,
 			Payload: aliasBind{alias: rec.alias, node: n.id, seq: a.seq},
-		})
+		}, nil, 0, 0)
 	} else {
 		// Deferred local creation (NewAuto executed at home): resolve
 		// the alias descriptor directly.

@@ -49,6 +49,14 @@ type NodeStats struct {
 	IdleParks   uint64 // idle blocks on the inbox
 	PaceStalls  uint64 // pace-gate pauses (conservative window engaged)
 
+	// Fault injection & recovery (zero unless Config.Faults is set).
+	Dropped        uint64 // packets the fault plan discarded at this node
+	Duplicated     uint64 // packets the fault plan delivered twice
+	Delayed        uint64 // packets the fault plan reordered
+	DupsFiltered   uint64 // duplicate control packets suppressed by sequencing
+	Retries        uint64 // control packets re-sent after an ack timeout
+	RetryExhausted uint64 // control packets abandoned after the retry budget
+
 	// Network layer (filled from amnet on snapshot).
 	Net amnet.Stats
 }
@@ -86,6 +94,12 @@ func (s *NodeStats) add(o NodeStats) {
 	s.StolenFrom += o.StolenFrom
 	s.IdleParks += o.IdleParks
 	s.PaceStalls += o.PaceStalls
+	s.Dropped += o.Dropped
+	s.Duplicated += o.Duplicated
+	s.Delayed += o.Delayed
+	s.DupsFiltered += o.DupsFiltered
+	s.Retries += o.Retries
+	s.RetryExhausted += o.RetryExhausted
 	s.Net.Add(o.Net)
 }
 
@@ -113,5 +127,10 @@ func (m MachineStats) String() string {
 	fmt.Fprintf(&b, "net:     pkts=%d/%d stalls=%d bulk=%d/%d words=%d queued=%d\n",
 		t.Net.Sent, t.Net.Received, t.Net.SendStalls,
 		t.Net.BulkSends, t.Net.BulkRecvs, t.Net.BulkWords, t.Net.BulkQueued)
+	if t.Dropped+t.Duplicated+t.Delayed+t.Retries+t.DupsFiltered+t.RetryExhausted > 0 {
+		fmt.Fprintf(&b, "faults:  dropped=%d dup=%d delayed=%d pauses=%d dedup=%d retries=%d exhausted=%d bulkretry=%d\n",
+			t.Dropped, t.Duplicated, t.Delayed, t.Net.Pauses,
+			t.DupsFiltered, t.Retries, t.RetryExhausted, t.Net.BulkRetries)
+	}
 	return b.String()
 }

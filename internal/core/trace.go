@@ -38,6 +38,14 @@ const (
 	EvStolenFrom
 	EvBroadcast
 	EvDeadLetter
+	// Fault injection & recovery (Config.Faults runs only).
+	EvFaultDrop  // the network dropped an inbound packet here
+	EvFaultDup   // the network duplicated an inbound packet here
+	EvFaultDelay // the network reordered an inbound packet here
+	EvFaultPause // this node entered a pause window
+	EvDedup      // a duplicate control packet was suppressed
+	EvRetry      // an unacknowledged control packet was re-sent
+	EvRetryDrop  // a control packet was abandoned (budget exhausted)
 )
 
 // String names the kind.
@@ -73,6 +81,20 @@ func (k EventKind) String() string {
 		return "broadcast"
 	case EvDeadLetter:
 		return "dead-letter"
+	case EvFaultDrop:
+		return "fault-drop"
+	case EvFaultDup:
+		return "fault-dup"
+	case EvFaultDelay:
+		return "fault-delay"
+	case EvFaultPause:
+		return "fault-pause"
+	case EvDedup:
+		return "dedup"
+	case EvRetry:
+		return "retry"
+	case EvRetryDrop:
+		return "retry-drop"
 	default:
 		return "unknown"
 	}
