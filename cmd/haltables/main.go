@@ -4,9 +4,17 @@
 // Usage:
 //
 //	haltables [-table all|1|2|3|4|5] [flags]
+//	haltables -bench-json BENCH_hal.json [-bench-label post]
 //
 // Scaling tables report virtual makespans under the Table 2-calibrated
 // cost model; microbenchmark tables also report host wall time.
+//
+// -bench-json switches to the benchmark-trajectory harness: it runs the
+// Table 2/3 microbenchmarks (ns/op, B/op, allocs/op) plus a small Table
+// 1/4/5 workload sweep (virtual makespan, packets per virtual ms),
+// appends the labeled entry to the JSON file next to the pinned
+// pre-optimization baseline, and exits non-zero if allocations per op
+// regressed against the baseline.
 package main
 
 import (
@@ -25,7 +33,17 @@ func main() {
 	fibGrain := flag.Float64("fib-grain", 1, "table 4: per-call compute in µs")
 	matN := flag.Int("mat-n", 1024, "table 5: matrix dimension")
 	skip := flag.Bool("mat-skip-compute", false, "table 5: skip real arithmetic (timing only)")
+	benchJSON := flag.String("bench-json", "", "write/update a benchmark trajectory file and exit (skips the tables)")
+	benchLabel := flag.String("bench-label", "post", "trajectory entry label for -bench-json")
 	flag.Parse()
+
+	if *benchJSON != "" {
+		if err := runTrajectory(*benchJSON, *benchLabel); err != nil {
+			fmt.Fprintln(os.Stderr, "haltables:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	want := func(t string) bool { return *table == "all" || *table == t }
 	failed := false
@@ -93,4 +111,40 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// runTrajectory measures the current build, records it in path under
+// label alongside the pinned pre-optimization baseline, prints the
+// before/after table, and fails on allocation regressions.
+func runTrajectory(path, label string) error {
+	tr, err := bench.LoadTrajectory(path)
+	if err != nil {
+		return err
+	}
+	base := bench.PreBaseline()
+	tr.Append(base)
+
+	entry, err := bench.Measure(label)
+	if err != nil {
+		return err
+	}
+	tr.Append(entry)
+	if err := tr.Write(path); err != nil {
+		return err
+	}
+
+	report, regressions := bench.CompareMicro(base, entry)
+	fmt.Print(report)
+	for _, w := range entry.Workloads {
+		fmt.Printf("%-34s virtual %.2f ms, %d pkts (%.0f pkts/virt-ms), %d batches carrying %d pkts\n",
+			w.Name, w.VirtualMS, w.Packets, w.PktsPerVirtMS, w.Batches, w.BatchedPkts)
+	}
+	fmt.Printf("trajectory written to %s (%d entries)\n", path, len(tr.Entries))
+	if len(regressions) > 0 {
+		for _, r := range regressions {
+			fmt.Fprintln(os.Stderr, "haltables: REGRESSION:", r)
+		}
+		return fmt.Errorf("%d allocation regression(s) vs baseline", len(regressions))
+	}
+	return nil
 }

@@ -15,6 +15,18 @@
 // waits, which guarantees freedom from deadlock as long as handlers do not
 // block.
 //
+// Small control packets can additionally be COALESCED per destination link
+// (SendBatched): packets accumulate in a per-(src,dst) staging buffer and
+// are injected as one inbox item when the buffer fills, the virtual-time
+// spread exceeds a window, or the endpoint reaches a poll boundary.  A
+// batch costs one channel operation instead of N, but counts as N packets
+// against the destination's InboxCap (capacity is tracked by an atomic
+// packet-token counter, not channel slots), preserves per-(src,dst) FIFO
+// (packets within a batch are delivered in append order, and a flush always
+// drains the staging buffer before any direct Send to the same peer), and
+// runs the fault filter once per PACKET on arrival, so a fault plan's
+// drop/dup/delay decisions are identical with batching on or off.
+//
 // Bulk data does not fit in an active message, so it moves through the
 // three-phase transfer protocol in bulk.go (request, acknowledgment, data
 // segments), with the acknowledgment policy selectable to reproduce the
@@ -23,6 +35,7 @@ package amnet
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -82,11 +95,32 @@ type Config struct {
 	// SegWords is the number of float64 words per bulk data segment.
 	// Default 512 (4 KiB segments).
 	SegWords int
+	// BatchMax is the largest number of packets coalesced into one
+	// SendBatched injection per destination link.  0 selects the default
+	// (32); a negative value disables coalescing (every SendBatched
+	// injects immediately, equivalent to Send).  Clamped to InboxCap so a
+	// full batch always fits the destination inbox.
+	BatchMax int
 	// Faults, when non-nil, injects deterministic delivery faults (see
 	// faults.go).  Nil means a perfect network; the fault-free receive
 	// path costs one extra pointer test per packet.
 	Faults *FaultPlan
 }
+
+// defaultBatchMax is the per-link coalescing limit when Config.BatchMax
+// is unset.
+const defaultBatchMax = 32
+
+// batchBypassFactor scales the backlog threshold above which SendBatched
+// stops coalescing to a destination: once the inbox already holds this
+// many batches' worth of packets, the receiver's channel is not the
+// bottleneck and detached buffers would only strand there.
+const batchBypassFactor = 4
+
+// batchVTWindow is the largest virtual-time spread (µs) a staging buffer
+// may accumulate before it is flushed: coalescing must not hold a packet
+// past the point where its virtual arrival time is long gone.
+const batchVTWindow = 50.0
 
 func (c *Config) applyDefaults() error {
 	if c.Nodes < 1 {
@@ -97,6 +131,15 @@ func (c *Config) applyDefaults() error {
 	}
 	if c.SegWords <= 0 {
 		c.SegWords = 512
+	}
+	if c.BatchMax == 0 {
+		c.BatchMax = defaultBatchMax
+	}
+	if c.BatchMax < 1 {
+		c.BatchMax = 1
+	}
+	if c.BatchMax > c.InboxCap {
+		c.BatchMax = c.InboxCap
 	}
 	if c.Flow < FlowOneActive || c.Flow > FlowEager {
 		return fmt.Errorf("amnet: invalid flow mode %d", c.Flow)
@@ -130,9 +173,11 @@ func NewNetwork(cfg Config) (*Network, error) {
 	nw.eps = make([]*Endpoint, cfg.Nodes)
 	for i := range nw.eps {
 		nw.eps[i] = &Endpoint{
-			id:    NodeID(i),
-			net:   nw,
-			inbox: make(chan Packet, cfg.InboxCap),
+			id:        NodeID(i),
+			net:       nw,
+			inbox:     make(chan qItem, cfg.InboxCap),
+			spaceWake: make(chan struct{}, 1),
+			out:       make([]outBuf, cfg.Nodes),
 		}
 		nw.eps[i].bulk.init(nw.eps[i])
 		if cfg.Faults != nil {
@@ -167,13 +212,81 @@ func (nw *Network) Register(id HandlerID, h Handler) {
 	nw.handlers[id] = h
 }
 
+// qItem is one inbox entry: either a single packet or a coalesced batch.
+// A batch entry holds a pooled slice whose ownership transfers to the
+// receiver; the receiver returns it to the pool after delivery.
+type qItem struct {
+	pkt   Packet
+	batch *[]Packet
+}
+
+// batchPool recycles the packet slices that travel inside batch items.
+// It is package-level (not per-endpoint) deliberately: under
+// unidirectional traffic a sender-owned freelist would drain to the
+// receiver and never refill, reintroducing a steady-state allocation.
+var batchPool = sync.Pool{New: func() any {
+	b := make([]Packet, 0, defaultBatchMax)
+	return &b
+}}
+
+func newBatch() *[]Packet { return batchPool.Get().(*[]Packet) }
+
+// freeBatch zeroes the entries (dropping Payload/Data references) and
+// returns the slice to the pool.
+func freeBatch(b *[]Packet) {
+	s := *b
+	for i := range s {
+		s[i] = Packet{}
+	}
+	if cap(s) > defaultBatchMax*batchBypassFactor {
+		// Grown by reentrant staging during a parked flush; pooling it
+		// would let one pathological drain bloat every later batch.
+		return
+	}
+	*b = s[:0]
+	batchPool.Put(b)
+}
+
+// outBuf is one destination link's staging buffer for SendBatched.
+type outBuf struct {
+	buf *[]Packet
+	// firstVT is the VT of the oldest staged packet, for the window flush.
+	firstVT float64
+	// dirty marks membership in the endpoint's dirty list.
+	dirty bool
+	// flushing guards against reentrant flushes of the same link: a
+	// blocked injection drains the sender's own inbox, and a handler run
+	// there may SendBatched to the link already being flushed.  The
+	// outer flush loop picks those packets up.
+	flushing bool
+}
+
 // Endpoint is one PE's attachment to the network.  All receive-side calls
 // (PollOne, PollAll, RecvBlock) and all Send calls must come from the
 // single goroutine that owns the node.
 type Endpoint struct {
-	id     NodeID
-	net    *Network
-	inbox  chan Packet
+	id    NodeID
+	net   *Network
+	inbox chan qItem
+	// inq counts packets logically occupying the inbox (a batch counts
+	// as its packet count).  It is the capacity accounting: senders
+	// reserve tokens before the channel send, the receiver releases them
+	// at dequeue.  Items in the channel never exceed reserved tokens, so
+	// a channel send after a successful reserve cannot block.  Atomic
+	// because senders on other goroutines reserve, and Machine.monitor
+	// reads Pending cross-goroutine.
+	inq atomic.Int64
+	// waiters counts senders blocked for inbox space; spaceWake is the
+	// wake-up baton they park on.  A releaser hands the baton only when
+	// a waiter is registered, and a waiter registers before re-checking
+	// capacity, so wake-ups cannot be lost.
+	waiters   atomic.Int32
+	spaceWake chan struct{}
+
+	// Send-side coalescing state (owned by the endpoint's goroutine).
+	out       []outBuf
+	dirtyList []NodeID
+
 	bulk   bulkState
 	faults *epFaults
 	stats  Stats
@@ -193,10 +306,70 @@ func (ep *Endpoint) Net() *Network { return ep.net }
 func (ep *Endpoint) Stats() Stats { return ep.stats }
 
 // maxPollDepth bounds reentrant polling from within Send.  Beyond this
-// depth Send stops draining its own inbox and spins on the destination
-// channel; the packets it would have drained are handled when the stack
-// unwinds.
+// depth Send stops draining its own inbox and waits flat for inbox space;
+// the packets it would have drained are handled when the stack unwinds.
 const maxPollDepth = 64
+
+// reserve claims k packet-tokens of dst inbox capacity, reporting success.
+func (ep *Endpoint) reserve(k int64) bool {
+	if ep.inq.Add(k) > int64(ep.net.cfg.InboxCap) {
+		ep.release(k)
+		return false
+	}
+	return true
+}
+
+// release returns k packet-tokens and hands the baton to a parked sender
+// if one is registered and capacity actually exists — a rollback of a
+// failed reserve on a still-full inbox must not wake the waiter that just
+// failed, or the pair spin hot.  (The rollback still batons when its
+// transient overshoot refused a concurrent sender of real free space.)
+func (ep *Endpoint) release(k int64) {
+	if ep.inq.Add(-k) < int64(ep.net.cfg.InboxCap) && ep.waiters.Load() > 0 {
+		select {
+		case ep.spaceWake <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// reserveOrStall claims k tokens of dst capacity, blocking until they are
+// available.  While waiting below the recursion limit the sender polls its
+// own inbox (the CMAM discipline), so handlers may run reentrantly.
+func (ep *Endpoint) reserveOrStall(dst *Endpoint, k int64) {
+	if dst.reserve(k) {
+		return
+	}
+	// Destination link full: poll while waiting.
+	ep.stats.SendStalls++
+	dst.waiters.Add(1)
+	for !dst.reserve(k) {
+		if ep.depth >= maxPollDepth {
+			// Too deep to keep draining reentrantly; block outright.  The
+			// destination PE polls on its own sends, so this cannot
+			// deadlock: some PE in any wait cycle is below the depth
+			// limit or has inbox room.
+			<-dst.spaceWake
+			continue
+		}
+		select {
+		case <-dst.spaceWake:
+		case q := <-ep.inbox:
+			// The drain runs the fault filter too, but ignores pause
+			// windows: a paused node that refused to drain while blocked
+			// on a full link could deadlock against its peer.
+			ep.consume(q)
+		}
+	}
+	dst.waiters.Add(-1)
+	if dst.waiters.Load() > 0 {
+		// Pass a possibly-consumed baton on to the next waiter.
+		select {
+		case dst.spaceWake <- struct{}{}:
+		default:
+		}
+	}
+}
 
 // Send injects p into the network, stamping p.Src.  If the destination
 // inbox is full the sender polls its own inbox while waiting (the CMAM
@@ -205,50 +378,193 @@ const maxPollDepth = 64
 func (ep *Endpoint) Send(p Packet) {
 	ep.net.sealed.Store(true)
 	p.Src = ep.id
+	ep.sendStamped(p)
+}
+
+// sendStamped injects an already-stamped packet as a single inbox item.
+func (ep *Endpoint) sendStamped(p Packet) {
 	dst := ep.net.eps[p.Dst]
 	ep.stats.Sent++
-	select {
-	case dst.inbox <- p:
-		return
-	default:
-	}
-	// Destination link full: poll while waiting.
-	ep.stats.SendStalls++
-	if ep.depth >= maxPollDepth {
-		// Too deep to keep draining reentrantly; block outright.  The
-		// destination PE polls on its own sends, so this cannot
-		// deadlock: some PE in any wait cycle is below the depth
-		// limit or has inbox room.
-		dst.inbox <- p
-		return
-	}
-	for {
-		select {
-		case dst.inbox <- p:
+	ep.reserveOrStall(dst, 1)
+	dst.inbox <- qItem{pkt: p}
+}
+
+// SendBatched injects p like Send, but may coalesce it with other packets
+// to the same destination into a single inbox operation.  Delivery order
+// per (src,dst) pair is identical to Send; only the channel-operation
+// count changes.  The staged packets are injected when the buffer reaches
+// Config.BatchMax, when the staged virtual-time spread exceeds the batch
+// window, or at the next poll boundary (PollAll/RecvBlock/Flush) —
+// coalesced packets are never held across a blocking wait.
+func (ep *Endpoint) SendBatched(p Packet) { ep.sendCoalesced(p, false) }
+
+// SendNow injects p immediately instead of staging it, while keeping
+// per-(src,dst) FIFO with any coalesced traffic.  For latency-critical
+// control packets (location repair) whose usefulness decays while they
+// sit in a staging buffer waiting for the sender's next poll boundary.
+func (ep *Endpoint) SendNow(p Packet) { ep.sendCoalesced(p, true) }
+
+func (ep *Endpoint) sendCoalesced(p Packet, urgent bool) {
+	ep.net.sealed.Store(true)
+	p.Src = ep.id
+	b := &ep.out[p.Dst]
+	if urgent || p.Payload != nil ||
+		int(ep.net.eps[p.Dst].inq.Load()) >= ep.net.cfg.BatchMax*batchBypassFactor {
+		// Three cases ride the direct path.  Urgent packets by contract.
+		// Boxed payloads do not coalesce: they are the high-volume
+		// message traffic, and every detached buffer holding them sits
+		// stranded in a deep inbox, defeating the buffer pool.  And a
+		// destination already backlogged by several batches' worth of
+		// packets gains nothing from coalescing (its channel is not the
+		// bottleneck) while paying the same stranded-buffer cost.  Flush
+		// the link first so this packet cannot overtake staged traffic,
+		// then inject by value.
+		ep.flushDst(p.Dst)
+		if !b.flushing {
+			ep.sendStamped(p)
 			return
-		case q := <-ep.inbox:
-			// The drain runs the fault filter too, but ignores pause
-			// windows: a paused node that refused to drain while blocked
-			// on a full link could deadlock against its peer.
-			ep.receive(q)
 		}
+		// A flush below us is parked mid-injection on this link with
+		// older packets not yet in the inbox; fall through and stage
+		// behind them so per-link FIFO holds.
+	}
+	if b.buf == nil {
+		b.buf = newBatch()
+	}
+	if len(*b.buf) == 0 {
+		b.firstVT = p.VT
+		if !b.dirty {
+			b.dirty = true
+			ep.dirtyList = append(ep.dirtyList, p.Dst)
+		}
+	}
+	*b.buf = append(*b.buf, p)
+	if len(*b.buf) >= ep.net.cfg.BatchMax ||
+		(p.VT > 0 && b.firstVT > 0 && p.VT-b.firstVT > batchVTWindow) {
+		ep.flushDst(p.Dst)
 	}
 }
 
+// Flush injects every staged SendBatched packet.  Called automatically at
+// poll boundaries; exported for callers with their own blocking points.
+func (ep *Endpoint) Flush() { ep.flushOut() }
+
+func (ep *Endpoint) flushOut() {
+	if len(ep.dirtyList) == 0 {
+		return
+	}
+	// Index loop: a flush can run handlers reentrantly (blocked injection
+	// drains our own inbox), and those may stage packets to new links.
+	for i := 0; i < len(ep.dirtyList); i++ {
+		ep.flushDst(ep.dirtyList[i])
+	}
+	for _, d := range ep.dirtyList {
+		ep.out[d].dirty = false
+	}
+	ep.dirtyList = ep.dirtyList[:0]
+}
+
+// flushDst drains one link's staging buffer into the network.
+func (ep *Endpoint) flushDst(dst NodeID) {
+	b := &ep.out[dst]
+	if b.flushing {
+		return // the flush below us will pick the packets up
+	}
+	b.flushing = true
+	for b.buf != nil && len(*b.buf) > 0 {
+		if len(*b.buf) == 1 {
+			// Singleton: inject directly and keep the buffer.  Clear the
+			// entry first — the injection may block and run handlers that
+			// stage more packets into this same buffer.
+			p := (*b.buf)[0]
+			(*b.buf)[0] = Packet{}
+			*b.buf = (*b.buf)[:0]
+			b.firstVT = 0
+			ep.sendStamped(p)
+			continue
+		}
+		// Ownership of the slice transfers to the receiver; detach it so
+		// reentrant stages start a fresh buffer.
+		buf := b.buf
+		b.buf = nil
+		b.firstVT = 0
+		ep.injectBatch(dst, buf)
+	}
+	b.flushing = false
+}
+
+// injectBatch ships a multi-packet buffer as one inbox item, reserving
+// its full packet count against the destination's capacity.
+func (ep *Endpoint) injectBatch(dst NodeID, buf *[]Packet) {
+	k := len(*buf)
+	if k > ep.net.cfg.InboxCap {
+		// A reentrant flush grew the buffer past what one reservation can
+		// cover (BatchMax is clamped to InboxCap, but packets staged while
+		// this link was mid-flush accumulate).  Fall back to per-packet
+		// injection; order is preserved.
+		for _, p := range *buf {
+			ep.sendStamped(p)
+		}
+		freeBatch(buf)
+		return
+	}
+	d := ep.net.eps[dst]
+	ep.stats.Sent += uint64(k)
+	ep.stats.Batches++
+	ep.stats.BatchedPkts += uint64(k)
+	ep.reserveOrStall(d, int64(k))
+	d.inbox <- qItem{batch: buf}
+}
+
+// DiscardOutbound drops every staged SendBatched packet without injecting
+// it.  Used by machine shutdown, where the network is being drained and
+// unsent control traffic is dead anyway.
+func (ep *Endpoint) DiscardOutbound() {
+	for i := range ep.dirtyList {
+		b := &ep.out[ep.dirtyList[i]]
+		if b.buf != nil {
+			freeBatch(b.buf)
+			b.buf = nil
+		}
+		b.firstVT = 0
+		b.dirty = false
+	}
+	ep.dirtyList = ep.dirtyList[:0]
+}
+
 // TrySend injects p without ever blocking or polling.  It reports whether
-// the packet was accepted.  Used by the flow-controlled bulk path, which
-// prefers to requeue work rather than stall the PE.
+// the packet was accepted; refusals are counted in Stats.TryStalls.  Used
+// by the flow-controlled bulk path, which prefers to requeue work rather
+// than stall the PE.
 func (ep *Endpoint) TrySend(p Packet) bool {
 	ep.net.sealed.Store(true)
 	p.Src = ep.id
 	dst := ep.net.eps[p.Dst]
-	select {
-	case dst.inbox <- p:
-		ep.stats.Sent++
-		return true
-	default:
+	if !dst.reserve(1) {
+		ep.stats.TryStalls++
 		return false
 	}
+	ep.stats.Sent++
+	dst.inbox <- qItem{pkt: p}
+	return true
+}
+
+// consume releases the item's capacity tokens and runs the fault filter
+// and handler for each packet it carries, returning the packet count.
+func (ep *Endpoint) consume(q qItem) int {
+	if q.batch == nil {
+		ep.release(1)
+		ep.receive(q.pkt)
+		return 1
+	}
+	pkts := *q.batch
+	n := len(pkts)
+	ep.release(int64(n))
+	for i := range pkts {
+		ep.receive(pkts[i])
+	}
+	freeBatch(q.batch)
+	return n
 }
 
 func (ep *Endpoint) dispatch(p Packet) {
@@ -262,15 +578,32 @@ func (ep *Endpoint) dispatch(p Packet) {
 	ep.depth--
 }
 
-// PollOne handles at most one pending packet and reports whether it did.
-// During a fault-plan pause window it handles nothing.
+// drainDelayed re-injects packets the fault plan delayed on an earlier
+// poll, returning how many.  Re-injected packets dispatch directly: they
+// already went through the filter once.
+func (ep *Endpoint) drainDelayed() int {
+	f := ep.faults
+	if f == nil || len(f.delayq) == 0 {
+		return 0
+	}
+	q := f.delayq
+	f.delayq = nil
+	for _, p := range q {
+		ep.dispatch(p)
+	}
+	return len(q)
+}
+
+// PollOne handles at most one pending inbox item (a coalesced batch
+// counts as one item) and reports whether it did.  During a fault-plan
+// pause window it handles nothing.
 func (ep *Endpoint) PollOne() bool {
 	if f := ep.faults; f != nil && f.pausedNow(ep) {
 		return false
 	}
 	select {
-	case p := <-ep.inbox:
-		ep.receive(p)
+	case q := <-ep.inbox:
+		ep.consume(q)
 		return true
 	default:
 		return false
@@ -280,39 +613,43 @@ func (ep *Endpoint) PollOne() bool {
 // PollAll drains and handles every packet currently queued, returning the
 // number handled.  Packets that arrive while draining are handled too.
 // Packets delayed by the fault plan on an earlier poll are re-injected
-// first; during a pause window nothing is handled.
+// first; during a pause window nothing is handled.  Returning, it flushes
+// the endpoint's staged SendBatched packets — a poll boundary is a point
+// where the PE may go on to block, and coalesced traffic must not be held
+// across that.
 func (ep *Endpoint) PollAll() int {
 	n := 0
 	if f := ep.faults; f != nil {
 		if f.pausedNow(ep) {
 			return 0
 		}
-		if len(f.delayq) > 0 {
-			q := f.delayq
-			f.delayq = nil
-			// Re-injected packets dispatch directly: they already went
-			// through the filter once.
-			for _, p := range q {
-				ep.dispatch(p)
+		n += ep.drainDelayed()
+	}
+	for {
+		select {
+		case q := <-ep.inbox:
+			n += ep.consume(q)
+		default:
+			if n > 0 {
+				ep.stats.Polls++
 			}
-			n += len(q)
+			// Polling is also the hook where deferred bulk work makes
+			// progress and where staged batches flush.
+			ep.bulk.pump(ep)
+			ep.flushOut()
+			return n
 		}
 	}
-	for ep.PollOne() {
-		n++
-	}
-	if n > 0 {
-		ep.stats.Polls++
-	}
-	// Polling is also the hook where deferred bulk work makes progress.
-	ep.bulk.pump(ep)
-	return n
 }
 
-// RecvBlock waits for one packet, handles it, and returns true.  It
+// RecvBlock waits for one inbox item, handles it, and returns true.  It
 // returns false if stop closes or the timeout (if positive) expires first.
-// A zero or negative timeout means wait indefinitely.
+// A zero or negative timeout means wait indefinitely.  Staged SendBatched
+// packets are flushed before blocking, and packets the fault plan delayed
+// on an earlier poll are re-injected (counting as a delivery) rather than
+// stranded while the node sleeps.
 func (ep *Endpoint) RecvBlock(stop <-chan struct{}, timeout time.Duration) bool {
+	ep.flushOut()
 	if f := ep.faults; f != nil {
 		if rem := f.pauseRemaining(ep); rem > 0 {
 			// Paused: sleep out the window (or the caller's timeout,
@@ -328,11 +665,14 @@ func (ep *Endpoint) RecvBlock(stop <-chan struct{}, timeout time.Duration) bool 
 			}
 			return false
 		}
+		if ep.drainDelayed() > 0 {
+			return true
+		}
 	}
 	if timeout <= 0 {
 		select {
-		case p := <-ep.inbox:
-			ep.receive(p)
+		case q := <-ep.inbox:
+			ep.consume(q)
 			return true
 		case <-stop:
 			return false
@@ -341,8 +681,8 @@ func (ep *Endpoint) RecvBlock(stop <-chan struct{}, timeout time.Duration) bool 
 	t := time.NewTimer(timeout)
 	defer t.Stop()
 	select {
-	case p := <-ep.inbox:
-		ep.receive(p)
+	case q := <-ep.inbox:
+		ep.consume(q)
 		return true
 	case <-stop:
 		return false
@@ -351,17 +691,23 @@ func (ep *Endpoint) RecvBlock(stop <-chan struct{}, timeout time.Duration) bool 
 	}
 }
 
-// Pending returns the number of packets waiting in the inbox.  Intended
-// for monitoring and tests.
-func (ep *Endpoint) Pending() int { return len(ep.inbox) }
+// Pending returns the number of packets waiting in the inbox.  Safe to
+// call from any goroutine; intended for monitoring and tests.
+func (ep *Endpoint) Pending() int { return int(ep.inq.Load()) }
 
-// PollDiscard removes one pending packet without running its handler and
+// PollDiscard removes one pending inbox item without running handlers and
 // reports whether one was removed.  Used during machine shutdown so peers
 // blocked injecting into this inbox can complete their sends and shut
 // down too.
 func (ep *Endpoint) PollDiscard() bool {
 	select {
-	case <-ep.inbox:
+	case q := <-ep.inbox:
+		if q.batch != nil {
+			ep.release(int64(len(*q.batch)))
+			freeBatch(q.batch)
+		} else {
+			ep.release(1)
+		}
 		return true
 	default:
 		return false
@@ -372,14 +718,17 @@ func (ep *Endpoint) PollDiscard() bool {
 // goroutine; read them only after the node has stopped or from the node
 // itself.
 type Stats struct {
-	Sent       uint64 // packets injected
-	Received   uint64 // packets handled
-	SendStalls uint64 // sends that found the destination link full
-	Polls      uint64 // PollAll calls that handled at least one packet
-	BulkSends  uint64 // bulk transfers initiated
-	BulkRecvs  uint64 // bulk transfers completed (receive side)
-	BulkWords  uint64 // float64 words received in bulk segments
-	BulkQueued uint64 // bulk requests that waited for a grant
+	Sent        uint64 // packets injected
+	Received    uint64 // packets handled
+	SendStalls  uint64 // sends that found the destination link full
+	TryStalls   uint64 // TrySend refusals (destination link full)
+	Polls       uint64 // PollAll calls that handled at least one packet
+	Batches     uint64 // coalesced multi-packet injections
+	BatchedPkts uint64 // packets that traveled inside those batches
+	BulkSends   uint64 // bulk transfers initiated
+	BulkRecvs   uint64 // bulk transfers completed (receive side)
+	BulkWords   uint64 // float64 words received in bulk segments
+	BulkQueued  uint64 // bulk requests that waited for a grant
 
 	// Fault injection (zero unless Config.Faults is set).
 	Dropped     uint64 // packets discarded by the fault plan
@@ -394,7 +743,10 @@ func (s *Stats) Add(other Stats) {
 	s.Sent += other.Sent
 	s.Received += other.Received
 	s.SendStalls += other.SendStalls
+	s.TryStalls += other.TryStalls
 	s.Polls += other.Polls
+	s.Batches += other.Batches
+	s.BatchedPkts += other.BatchedPkts
 	s.BulkSends += other.BulkSends
 	s.BulkRecvs += other.BulkRecvs
 	s.BulkWords += other.BulkWords

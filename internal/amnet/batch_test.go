@@ -1,0 +1,303 @@
+package amnet
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSendBatchedFIFO checks that coalescing preserves per-(src,dst)
+// delivery order, including across flush boundaries and mixed batch sizes.
+func TestSendBatchedFIFO(t *testing.T) {
+	var got []uint64
+	nw := newTestNet(t, Config{Nodes: 2, BatchMax: 4}, map[HandlerID]Handler{
+		hCount: func(_ *Endpoint, p Packet) { got = append(got, p.U0) },
+	})
+	src, dst := nw.Endpoint(0), nw.Endpoint(1)
+	const total = 23 // not a multiple of BatchMax: last flush is partial
+	for i := uint64(0); i < total; i++ {
+		src.SendBatched(Packet{Handler: hCount, Dst: 1, U0: i})
+		if i == 10 {
+			src.Flush() // mid-stream explicit flush must not reorder
+		}
+	}
+	src.Flush()
+	for dst.Pending() > 0 {
+		dst.PollAll()
+	}
+	if len(got) != total {
+		t.Fatalf("delivered %d packets, want %d", len(got), total)
+	}
+	for i, v := range got {
+		if v != uint64(i) {
+			t.Fatalf("packet %d out of order: got %d", i, v)
+		}
+	}
+	if s := src.Stats(); s.Batches == 0 || s.BatchedPkts == 0 {
+		t.Errorf("no coalescing happened: %+v", s)
+	}
+}
+
+// TestSendBatchedCountsAgainstInboxCap checks the back-pressure
+// accounting: a coalesced batch occupies its packet count of inbox
+// capacity, not one slot.
+func TestSendBatchedCountsAgainstInboxCap(t *testing.T) {
+	nw := newTestNet(t, Config{Nodes: 2, InboxCap: 4}, map[HandlerID]Handler{
+		hCount: func(*Endpoint, Packet) {},
+	})
+	src, dst := nw.Endpoint(0), nw.Endpoint(1)
+	// BatchMax defaults to 32 but is clamped to InboxCap=4, so the fourth
+	// staged packet flushes as one 4-packet batch.
+	for i := 0; i < 4; i++ {
+		src.SendBatched(Packet{Handler: hCount, Dst: 1})
+	}
+	if got := dst.Pending(); got != 4 {
+		t.Fatalf("Pending() = %d after a 4-packet batch, want 4", got)
+	}
+	// The inbox holds ONE channel item but is at packet capacity: a
+	// non-blocking send must be refused and counted.
+	if src.TrySend(Packet{Handler: hCount, Dst: 1}) {
+		t.Fatal("TrySend accepted into a full inbox")
+	}
+	if got := src.Stats().TryStalls; got != 1 {
+		t.Fatalf("TryStalls = %d, want 1", got)
+	}
+	if got := dst.PollAll(); got != 4 {
+		t.Fatalf("PollAll() = %d, want 4", got)
+	}
+	if !src.TrySend(Packet{Handler: hCount, Dst: 1}) {
+		t.Fatal("TrySend refused after drain")
+	}
+}
+
+// TestSendBatchedVTWindowFlush checks that a staged buffer flushes once
+// the staged virtual-time spread exceeds the batch window, so coalescing
+// cannot hold a packet far past its virtual arrival time.
+func TestSendBatchedVTWindowFlush(t *testing.T) {
+	nw := newTestNet(t, Config{Nodes: 2}, map[HandlerID]Handler{
+		hCount: func(*Endpoint, Packet) {},
+	})
+	src, dst := nw.Endpoint(0), nw.Endpoint(1)
+	src.SendBatched(Packet{Handler: hCount, Dst: 1, VT: 100})
+	if dst.Pending() != 0 {
+		t.Fatal("buffer flushed before any threshold was reached")
+	}
+	src.SendBatched(Packet{Handler: hCount, Dst: 1, VT: 100 + batchVTWindow + 1})
+	if got := dst.Pending(); got != 2 {
+		t.Fatalf("Pending() = %d after VT-window flush, want 2", got)
+	}
+}
+
+// TestSendBatchedBoxedPayloadBypass checks that a boxed (non-word-
+// encoded) payload never sits in the staging buffer: it flushes the link
+// so it cannot overtake staged traffic, then injects immediately.
+func TestSendBatchedBoxedPayloadBypass(t *testing.T) {
+	var got []uint64
+	nw := newTestNet(t, Config{Nodes: 2, BatchMax: 8}, map[HandlerID]Handler{
+		hCount: func(_ *Endpoint, p Packet) { got = append(got, p.U0) },
+	})
+	src, dst := nw.Endpoint(0), nw.Endpoint(1)
+	src.SendBatched(Packet{Handler: hCount, Dst: 1, U0: 0})
+	src.SendBatched(Packet{Handler: hCount, Dst: 1, U0: 1})
+	if dst.Pending() != 0 {
+		t.Fatal("word-encoded packets flushed below BatchMax")
+	}
+	src.SendBatched(Packet{Handler: hCount, Dst: 1, U0: 2, Payload: "boxed"})
+	if got := dst.Pending(); got != 3 {
+		t.Fatalf("Pending() = %d after boxed send, want 3 (staged flushed + direct inject)", got)
+	}
+	for dst.Pending() > 0 {
+		dst.PollAll()
+	}
+	for i, v := range got {
+		if v != uint64(i) {
+			t.Fatalf("packet %d out of order: got %d", i, v)
+		}
+	}
+}
+
+// TestSendNowBypassesStaging checks the urgent path: a SendNow packet
+// never waits in the staging buffer (it is visible to the destination
+// immediately), and staged traffic to the same link flushes ahead of it
+// so per-(src,dst) FIFO holds.
+func TestSendNowBypassesStaging(t *testing.T) {
+	var got []uint64
+	nw := newTestNet(t, Config{Nodes: 2, BatchMax: 8}, map[HandlerID]Handler{
+		hCount: func(_ *Endpoint, p Packet) { got = append(got, p.U0) },
+	})
+	src, dst := nw.Endpoint(0), nw.Endpoint(1)
+	src.SendBatched(Packet{Handler: hCount, Dst: 1, U0: 0})
+	src.SendBatched(Packet{Handler: hCount, Dst: 1, U0: 1})
+	if dst.Pending() != 0 {
+		t.Fatal("word-encoded packets flushed below BatchMax")
+	}
+	src.SendNow(Packet{Handler: hCount, Dst: 1, U0: 2})
+	if got := dst.Pending(); got != 3 {
+		t.Fatalf("Pending() = %d after SendNow, want 3 (staged flushed + urgent injected)", got)
+	}
+	// With nothing staged, SendNow is a plain immediate send.
+	src.SendNow(Packet{Handler: hCount, Dst: 1, U0: 3})
+	if got := dst.Pending(); got != 4 {
+		t.Fatalf("Pending() = %d after bare SendNow, want 4", got)
+	}
+	for dst.Pending() > 0 {
+		dst.PollAll()
+	}
+	for i, v := range got {
+		if v != uint64(i) {
+			t.Fatalf("packet %d out of order: got %d", i, v)
+		}
+	}
+}
+
+// TestBatchingDisabled checks BatchMax < 0: every SendBatched injects
+// immediately, equivalent to Send.
+func TestBatchingDisabled(t *testing.T) {
+	nw := newTestNet(t, Config{Nodes: 2, BatchMax: -1}, map[HandlerID]Handler{
+		hCount: func(*Endpoint, Packet) {},
+	})
+	src, dst := nw.Endpoint(0), nw.Endpoint(1)
+	for i := 0; i < 5; i++ {
+		src.SendBatched(Packet{Handler: hCount, Dst: 1})
+	}
+	if got := dst.Pending(); got != 5 {
+		t.Fatalf("Pending() = %d with batching disabled, want 5", got)
+	}
+	if got := src.Stats().Batches; got != 0 {
+		t.Fatalf("Batches = %d with batching disabled, want 0", got)
+	}
+}
+
+// TestDiscardOutboundDropsStaged checks that DiscardOutbound drops staged
+// packets without injecting them and leaves the endpoint reusable.
+func TestDiscardOutboundDropsStaged(t *testing.T) {
+	nw := newTestNet(t, Config{Nodes: 2}, map[HandlerID]Handler{
+		hCount: func(*Endpoint, Packet) {},
+	})
+	src, dst := nw.Endpoint(0), nw.Endpoint(1)
+	src.SendBatched(Packet{Handler: hCount, Dst: 1})
+	src.SendBatched(Packet{Handler: hCount, Dst: 1})
+	src.DiscardOutbound()
+	src.Flush()
+	if got := dst.Pending(); got != 0 {
+		t.Fatalf("Pending() = %d after DiscardOutbound, want 0", got)
+	}
+	src.SendBatched(Packet{Handler: hCount, Dst: 1})
+	src.Flush()
+	if got := dst.Pending(); got != 1 {
+		t.Fatalf("Pending() = %d after re-staging, want 1", got)
+	}
+}
+
+// TestRecvBlockFlushesStaged checks that a node about to park injects its
+// staged packets first — coalesced traffic must not be held across a
+// blocking wait.
+func TestRecvBlockFlushesStaged(t *testing.T) {
+	nw := newTestNet(t, Config{Nodes: 2}, map[HandlerID]Handler{
+		hCount: func(*Endpoint, Packet) {},
+	})
+	src, dst := nw.Endpoint(0), nw.Endpoint(1)
+	src.SendBatched(Packet{Handler: hCount, Dst: 1})
+	src.RecvBlock(nil, time.Millisecond) // blocks, times out; must flush first
+	if got := dst.Pending(); got != 1 {
+		t.Fatalf("Pending() = %d after sender parked, want 1", got)
+	}
+}
+
+// TestRecvBlockDrainsDelayed is the regression test for the stranded-
+// delayq bug: a packet the fault plan delayed during an earlier poll must
+// be re-injected when the node blocks idle, not stranded until the next
+// PollAll that may never come.
+func TestRecvBlockDrainsDelayed(t *testing.T) {
+	delivered := 0
+	nw := newTestNet(t, Config{Nodes: 2, Faults: &FaultPlan{Delay: 1}}, map[HandlerID]Handler{
+		hCount: func(*Endpoint, Packet) { delivered++ },
+	})
+	src, dst := nw.Endpoint(0), nw.Endpoint(1)
+	src.Send(Packet{Handler: hCount, Dst: 1})
+	// The first consume parks the packet in the delay queue.
+	if !dst.PollOne() {
+		t.Fatal("PollOne found no inbox item")
+	}
+	if delivered != 0 {
+		t.Fatal("packet dispatched despite Delay=1")
+	}
+	if dst.FaultBacklog() != 1 {
+		t.Fatalf("FaultBacklog() = %d, want 1", dst.FaultBacklog())
+	}
+	// Blocking idle must re-inject the delayed packet instead of sleeping
+	// on an empty inbox with work stranded.
+	if !dst.RecvBlock(nil, 50*time.Millisecond) {
+		t.Fatal("RecvBlock returned false with a delayed packet pending")
+	}
+	if delivered != 1 {
+		t.Fatalf("delivered = %d after RecvBlock, want 1", delivered)
+	}
+	if dst.FaultBacklog() != 0 {
+		t.Fatalf("FaultBacklog() = %d after drain, want 0", dst.FaultBacklog())
+	}
+}
+
+// TestTrySendCountsTryStalls checks the refusal counter on the
+// non-blocking path: flow-controlled bulk pumps report link pressure.
+func TestTrySendCountsTryStalls(t *testing.T) {
+	nw := newTestNet(t, Config{Nodes: 2, InboxCap: 2}, map[HandlerID]Handler{
+		hCount: func(*Endpoint, Packet) {},
+	})
+	src := nw.Endpoint(0)
+	for i := 0; i < 2; i++ {
+		if !src.TrySend(Packet{Handler: hCount, Dst: 1}) {
+			t.Fatalf("TrySend %d refused below capacity", i)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if src.TrySend(Packet{Handler: hCount, Dst: 1}) {
+			t.Fatal("TrySend accepted into a full inbox")
+		}
+	}
+	s := src.Stats()
+	if s.TryStalls != 3 {
+		t.Errorf("TryStalls = %d, want 3", s.TryStalls)
+	}
+	if s.SendStalls != 0 {
+		t.Errorf("SendStalls = %d, want 0 (TrySend must not count there)", s.SendStalls)
+	}
+	if s.Sent != 2 {
+		t.Errorf("Sent = %d, want 2 (refusals are not sends)", s.Sent)
+	}
+}
+
+// TestBatchFaultDrawsPerPacket checks that the fault filter runs once per
+// packet of a batch: with a given seed, the set of packets dropped must be
+// identical whether the packets traveled individually or coalesced.
+func TestBatchFaultDrawsPerPacket(t *testing.T) {
+	run := func(batched bool) []uint64 {
+		var got []uint64
+		nw := newTestNet(t, Config{Nodes: 2, Faults: &FaultPlan{Drop: 0.5, Seed: 42}},
+			map[HandlerID]Handler{hCount: func(_ *Endpoint, p Packet) { got = append(got, p.U0) }})
+		src, dst := nw.Endpoint(0), nw.Endpoint(1)
+		for i := uint64(0); i < 64; i++ {
+			if batched {
+				src.SendBatched(Packet{Handler: hCount, Dst: 1, U0: i})
+			} else {
+				src.Send(Packet{Handler: hCount, Dst: 1, U0: i})
+			}
+		}
+		src.Flush()
+		for dst.Pending() > 0 {
+			dst.PollAll()
+		}
+		return got
+	}
+	plain, batched := run(false), run(true)
+	if len(plain) == 0 || len(plain) == 64 {
+		t.Fatalf("degenerate drop pattern: %d of 64 delivered", len(plain))
+	}
+	if len(plain) != len(batched) {
+		t.Fatalf("drop decisions differ: %d plain vs %d batched", len(plain), len(batched))
+	}
+	for i := range plain {
+		if plain[i] != batched[i] {
+			t.Fatalf("survivor %d differs: plain %d vs batched %d", i, plain[i], batched[i])
+		}
+	}
+}

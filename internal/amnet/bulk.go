@@ -117,6 +117,10 @@ func (b *bulkState) init(ep *Endpoint) {
 // for payloads of at most one segment, the data is injected inline before
 // BulkSend returns (stalling the caller if links are full).
 func (ep *Endpoint) BulkSend(dst NodeID, data []float64, fin Packet) {
+	// Control packets staged for this link must hit the wire before the
+	// transfer's request/segments, or a small-then-bulk sequence to the
+	// same peer would reorder.
+	ep.flushDst(dst)
 	ep.stats.BulkSends++
 	fin.Dst = dst
 	b := &ep.bulk

@@ -1,0 +1,336 @@
+// Benchmark-trajectory harness: machine-readable before/after numbers
+// for the repo's performance history.  `haltables -bench-json` runs the
+// Table 2/3 microbenchmarks (host ns/op, B/op, allocs/op via
+// testing.Benchmark) and a small Table 1/4/5 workload sweep (virtual
+// makespan plus interconnect packet figures) and appends the result to a
+// trajectory file, so successive PRs can assert the hot paths got
+// cheaper rather than eyeball benchmark logs.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"hal"
+	"hal/internal/apps/cannon"
+	"hal/internal/apps/cholesky"
+	"hal/internal/apps/fib"
+)
+
+// MicroPoint is one microbenchmark measurement (host wall time).
+type MicroPoint struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// WorkloadPoint is one full-workload measurement (virtual time).
+type WorkloadPoint struct {
+	Name          string  `json:"name"`
+	VirtualMS     float64 `json:"virtual_ms"`
+	Packets       uint64  `json:"packets"`      // control packets injected
+	Batches       uint64  `json:"batches"`      // coalesced injections
+	BatchedPkts   uint64  `json:"batched_pkts"` // packets riding in batches
+	PktsPerVirtMS float64 `json:"pkts_per_virt_ms"`
+}
+
+// TrajectoryEntry is one labeled measurement run.
+type TrajectoryEntry struct {
+	Label      string          `json:"label"`
+	Recorded   string          `json:"recorded,omitempty"`
+	GoVersion  string          `json:"go_version,omitempty"`
+	GOMAXPROCS int             `json:"gomaxprocs,omitempty"`
+	Micro      []MicroPoint    `json:"micro"`
+	Workloads  []WorkloadPoint `json:"workloads,omitempty"`
+}
+
+// Trajectory is the BENCH_hal.json document: an append-only series of
+// entries ordered oldest first.
+type Trajectory struct {
+	Schema  string            `json:"schema"`
+	Entries []TrajectoryEntry `json:"entries"`
+}
+
+const trajectorySchema = "hal-bench-trajectory/v1"
+
+// PreBaseline returns the microbenchmark numbers measured at the commit
+// immediately before the zero-allocation control plane landed (boxed
+// control payloads, unbatched injection), pinned here so a fresh
+// checkout still renders the before/after trajectory.  Workload figures
+// are omitted: the old interconnect had no batching counters.
+func PreBaseline() TrajectoryEntry {
+	return TrajectoryEntry{
+		Label: "pre-zero-alloc (boxed control plane, unbatched)",
+		Micro: []MicroPoint{
+			{Name: "Table2LocalCreation", NsPerOp: 1599, BytesPerOp: 577, AllocsPerOp: 1},
+			{Name: "Table2LocalSend", NsPerOp: 676.7, BytesPerOp: 169, AllocsPerOp: 1},
+			{Name: "Table2SendFast", NsPerOp: 25.26, BytesPerOp: 0, AllocsPerOp: 0},
+			{Name: "Table2RemoteCreationAlias", NsPerOp: 884.7, BytesPerOp: 848, AllocsPerOp: 1},
+			{Name: "Table3GenericLocalSendDispatch", NsPerOp: 411.8, BytesPerOp: 175, AllocsPerOp: 1},
+			{Name: "Table3RemoteSendDispatch", NsPerOp: 538.2, BytesPerOp: 196, AllocsPerOp: 2},
+		},
+	}
+}
+
+// microBench runs body under the testing harness and extracts the
+// per-op figures.
+func microBench(name string, body func(b *testing.B)) MicroPoint {
+	r := testing.Benchmark(body)
+	return MicroPoint{
+		Name:        name,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+}
+
+// nopBeh is the empty method set the primitive benches dispatch to.
+var nopBeh = hal.BehaviorFunc(func(*hal.Context, *hal.Message) {})
+
+// Measure runs the trajectory suite live and returns the entry.
+func Measure(label string) (TrajectoryEntry, error) {
+	e := TrajectoryEntry{
+		Label:      label,
+		Recorded:   time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+
+	// --- Table 2/3 primitives, same bodies as the root bench_test.go ---
+
+	e.Micro = append(e.Micro, microBench("Table2LocalCreation", func(b *testing.B) {
+		m, err := hal.NewMachine(quiet(1, false))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.Run(func(ctx *hal.Context) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ctx.New(nopBeh)
+			}
+			b.StopTimer()
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}))
+
+	e.Micro = append(e.Micro, microBench("Table2LocalSend", func(b *testing.B) {
+		cfg := quiet(1, false)
+		cfg.InboxCap = 1 << 16
+		m, err := hal.NewMachine(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.Run(func(ctx *hal.Context) {
+			a := ctx.New(nopBeh)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ctx.Send(a, 1)
+			}
+			b.StopTimer()
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}))
+
+	e.Micro = append(e.Micro, microBench("Table2SendFast", func(b *testing.B) {
+		m, err := hal.NewMachine(quiet(1, false))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.Run(func(ctx *hal.Context) {
+			a := ctx.New(nopBeh)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ctx.SendFast(a, 1)
+			}
+			b.StopTimer()
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}))
+
+	e.Micro = append(e.Micro, microBench("Table2RemoteCreationAlias", func(b *testing.B) {
+		cfg := quiet(2, false)
+		cfg.InboxCap = 1 << 20
+		m, err := hal.NewMachine(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		typ := m.RegisterType("nop", func([]any) hal.Behavior { return nopBeh })
+		if _, err := m.Run(func(ctx *hal.Context) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ctx.NewOn(1, typ)
+			}
+			b.StopTimer()
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}))
+
+	e.Micro = append(e.Micro, microBench("Table3GenericLocalSendDispatch", func(b *testing.B) {
+		cfg := quiet(1, false)
+		cfg.InboxCap = 1 << 16
+		m, err := hal.NewMachine(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.Run(func(ctx *hal.Context) {
+			a := ctx.New(nopBeh)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ctx.Send(a, 1)
+			}
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}))
+
+	e.Micro = append(e.Micro, microBench("Table3RemoteSendDispatch", func(b *testing.B) {
+		cfg := quiet(2, false)
+		cfg.InboxCap = 1 << 20
+		m, err := hal.NewMachine(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		typ := m.RegisterType("nop", func([]any) hal.Behavior { return nopBeh })
+		if _, err := m.Run(func(ctx *hal.Context) {
+			a := ctx.NewOn(1, typ)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ctx.Send(a, 1)
+			}
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}))
+
+	// --- Table 1/4/5 workloads: virtual makespan + packet figures ---
+
+	workload := func(name string, virt time.Duration, st hal.MachineStats) {
+		vms := float64(virt) / float64(time.Millisecond)
+		p := WorkloadPoint{
+			Name:        name,
+			VirtualMS:   vms,
+			Packets:     st.Total.Net.Sent,
+			Batches:     st.Total.Net.Batches,
+			BatchedPkts: st.Total.Net.BatchedPkts,
+		}
+		if vms > 0 {
+			p.PktsPerVirtMS = float64(p.Packets) / vms
+		}
+		e.Workloads = append(e.Workloads, p)
+	}
+
+	chol, err := cholesky.Run(quiet(4, false),
+		cholesky.Config{N: 128, B: 16, Sync: cholesky.Pipelined, Mapping: cholesky.Cyclic}, false)
+	if err != nil {
+		return e, fmt.Errorf("table1 cholesky: %w", err)
+	}
+	workload("Table1CholeskyCP-128x16-p4", chol.Virtual, chol.Stats)
+
+	fr, err := fib.Run(quiet(4, true), fib.Config{N: 18, GrainUS: 2})
+	if err != nil {
+		return e, fmt.Errorf("table4 fib: %w", err)
+	}
+	workload("Table4FibBalanced-18-p4", fr.Virtual, fr.Stats)
+
+	can, err := cannon.Run(quiet(4, false), cannon.Config{N: 256, P: 2, SkipCompute: true}, false)
+	if err != nil {
+		return e, fmt.Errorf("table5 cannon: %w", err)
+	}
+	workload("Table5Cannon-256-2x2", can.Virtual, can.Stats)
+
+	return e, nil
+}
+
+// LoadTrajectory reads an existing trajectory file; a missing file
+// yields an empty document.
+func LoadTrajectory(path string) (Trajectory, error) {
+	tr := Trajectory{Schema: trajectorySchema}
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return tr, nil
+	}
+	if err != nil {
+		return tr, err
+	}
+	if err := json.Unmarshal(data, &tr); err != nil {
+		return tr, fmt.Errorf("%s: %w", path, err)
+	}
+	tr.Schema = trajectorySchema
+	return tr, nil
+}
+
+// Append records e in the trajectory, replacing any previous entry with
+// the same label so re-runs update in place.
+func (tr *Trajectory) Append(e TrajectoryEntry) {
+	for i := range tr.Entries {
+		if tr.Entries[i].Label == e.Label {
+			tr.Entries[i] = e
+			return
+		}
+	}
+	tr.Entries = append(tr.Entries, e)
+}
+
+// Write renders the trajectory to path as indented JSON.
+func (tr Trajectory) Write(path string) error {
+	data, err := json.MarshalIndent(tr, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// micro returns the named microbenchmark point, if present.
+func (e TrajectoryEntry) micro(name string) (MicroPoint, bool) {
+	for _, p := range e.Micro {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return MicroPoint{}, false
+}
+
+// CompareMicro checks that cur is no worse than base on allocations and
+// bytes per op for every microbenchmark both entries measured, and
+// returns a human-readable report plus any regressions.  Wall time is
+// reported but not gated (host noise); allocation counts are exact.
+// Bytes get max(10%, 96 B) slack: benches that legitimately allocate per
+// op see their B/op wander with size classes and with table/queue growth
+// amortized over the harness-chosen iteration count.
+func CompareMicro(base, cur TrajectoryEntry) (report string, regressions []string) {
+	report = fmt.Sprintf("%-34s %12s %12s %10s\n", "benchmark", "ns/op", "B/op", "allocs/op")
+	for _, p := range cur.Micro {
+		b, ok := base.micro(p.Name)
+		if !ok {
+			report += fmt.Sprintf("%-34s %12.1f %12d %10d  (new)\n",
+				p.Name, p.NsPerOp, p.BytesPerOp, p.AllocsPerOp)
+			continue
+		}
+		report += fmt.Sprintf("%-34s %12s %12s %10s\n", p.Name,
+			fmt.Sprintf("%.1f→%.1f", b.NsPerOp, p.NsPerOp),
+			fmt.Sprintf("%d→%d", b.BytesPerOp, p.BytesPerOp),
+			fmt.Sprintf("%d→%d", b.AllocsPerOp, p.AllocsPerOp))
+		if p.AllocsPerOp > b.AllocsPerOp {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: allocs/op %d > baseline %d", p.Name, p.AllocsPerOp, b.AllocsPerOp))
+		}
+		slack := int64(float64(b.BytesPerOp) * 0.10)
+		if slack < 96 {
+			slack = 96
+		}
+		if p.BytesPerOp > b.BytesPerOp+slack {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: B/op %d > baseline %d (+%d slack)", p.Name, p.BytesPerOp, b.BytesPerOp, slack))
+		}
+	}
+	return report, regressions
+}

@@ -1,0 +1,217 @@
+package core
+
+import (
+	"testing"
+
+	"hal/internal/amnet"
+)
+
+// Allocation guards for the zero-allocation control plane.  Each test
+// drives an UNSTARTED machine's kernels from this goroutine — handlers
+// and dispatch work exactly as they do live, minus the node goroutines —
+// and asserts the steady-state hot path performs no heap allocation.
+//
+// The guards are skipped under the race detector (its instrumentation
+// allocates).  They construct fault-free machines on purpose: with
+// Config.Faults set the pools disable themselves and the retry table
+// allocates by design.
+
+// allocMachine builds an unstarted fault-free machine with a registered
+// program whose live count is pre-based at 1, so the measured loops can
+// inc/dec live units without ever draining the count to zero (program
+// completion runs a sync.Once closure, which allocates).
+func allocMachine(t *testing.T, nodes int) (*Machine, *Program) {
+	t.Helper()
+	m, err := NewMachine(Config{Nodes: nodes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := &Program{id: m.progSeq.Add(1), m: m, done: make(chan struct{})}
+	m.registerProg(prog)
+	m.incLive(prog, 1)
+	return m, prog
+}
+
+type allocSink struct{ calls int }
+
+func (b *allocSink) Receive(_ *Context, _ *Message) { b.calls++ }
+
+func requireZeroAllocs(t *testing.T, name string, fn func()) {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("race detector instrumentation allocates")
+	}
+	for i := 0; i < 8; i++ {
+		fn() // warm pools, staging buffers, and heap backing arrays
+	}
+	if allocs := testing.AllocsPerRun(200, fn); allocs != 0 {
+		t.Errorf("%s: %.2f allocs/op, want 0", name, allocs)
+	}
+}
+
+// TestAllocSendFastZero: the compiler-controlled fast path (locality
+// check + inline dispatch) must not allocate.
+func TestAllocSendFastZero(t *testing.T) {
+	m, prog := allocMachine(t, 1)
+	n := m.nodes[0]
+	sink := &allocSink{}
+	a := n.createLocal(sink)
+	a.prog = prog
+	ctx := &n.ctx
+	ctx.prog = prog
+	to := a.Addr()
+	requireZeroAllocs(t, "SendFast", func() {
+		if !ctx.SendFast(to, 1) {
+			t.Fatal("fast path did not run")
+		}
+	})
+	if sink.calls == 0 {
+		t.Fatal("method never dispatched")
+	}
+}
+
+// TestAllocPooledLocalDelivery: the generic local send — pooled message,
+// mail queue, dispatcher task, inline free at dispatch — must not
+// allocate in steady state.
+func TestAllocPooledLocalDelivery(t *testing.T) {
+	m, prog := allocMachine(t, 1)
+	n := m.nodes[0]
+	sink := &allocSink{}
+	a := n.createLocal(sink)
+	a.prog = prog
+	ctx := &n.ctx
+	ctx.prog = prog
+	to := a.Addr()
+	requireZeroAllocs(t, "local Send+dispatch", func() {
+		ctx.Send(to, 1)
+		tk, ok := n.ready.Pop()
+		if !ok {
+			t.Fatal("send queued no dispatcher task")
+		}
+		n.execute(tk)
+	})
+	if sink.calls == 0 {
+		t.Fatal("message never delivered")
+	}
+}
+
+// TestAllocWordEncodedCacheUpdate: a cache update crossing the
+// interconnect — word-encoded send, coalesced injection, receive, decode,
+// apply — must not allocate on either endpoint.
+func TestAllocWordEncodedCacheUpdate(t *testing.T) {
+	m, _ := allocMachine(t, 2)
+	n0, n1 := m.nodes[0], m.nodes[1]
+	// An address unknown on node 1: applyCacheUpdate scans its (empty)
+	// descriptor candidates and returns, exercising decode without
+	// touching arena state.
+	addr := Addr{Birth: 0, Hint: 0, Seq: 7}
+	requireZeroAllocs(t, "cache update", func() {
+		n0.sendCacheUpdate(1, addr, 0, 7)
+		n0.ep.Flush()
+		if n1.ep.PollAll() != 1 {
+			t.Fatal("cache update not delivered")
+		}
+	})
+}
+
+// TestAllocWordEncodedReply: a scalar remote reply — tag-encoded send,
+// receive, decode, slot fill — must not allocate.  The join continuation
+// is sized so the measured fills never complete it.
+func TestAllocWordEncodedReply(t *testing.T) {
+	m, prog := allocMachine(t, 2)
+	n0, n1 := m.nodes[0], m.nodes[1]
+	j := n1.newJoin(1<<12, Addr{Birth: 1, Hint: 1, Seq: 1}, func(*Context, []any) {}, prog)
+	rt := ReplyTo{Node: 1, JC: j.seq, Slot: 0}
+	requireZeroAllocs(t, "scalar reply", func() {
+		n0.sendReply(rt, 7, prog)
+		n0.ep.Flush()
+		if n1.ep.PollAll() != 1 {
+			t.Fatal("reply not delivered")
+		}
+	})
+}
+
+// TestAllocWordEncodedFIR: a single-hop FIR answered "unknown" must not
+// allocate: the path slice is pooled on the sender and the word-encoded
+// hop list never materializes on the receiver's heap.
+func TestAllocWordEncodedFIR(t *testing.T) {
+	m, _ := allocMachine(t, 2)
+	n0, n1 := m.nodes[0], m.nodes[1]
+	addr := Addr{Birth: 0, Hint: 0, Seq: 9}
+	requireZeroAllocs(t, "FIR round trip", func() {
+		n0.sendFIR(1, firReq{addr: addr, path: append(n0.newPath(), n0.id)})
+		n0.ep.Flush()
+		if n1.ep.PollAll() != 1 {
+			t.Fatal("FIR not delivered")
+		}
+		n1.ep.Flush() // the hFIRFound answer back to node 0
+		if n0.ep.PollAll() != 1 {
+			t.Fatal("FIR answer not delivered")
+		}
+	})
+}
+
+// TestReplyEncodingRoundTrip pins the scalar tags and the boxed fallback.
+func TestReplyEncodingRoundTrip(t *testing.T) {
+	for _, v := range []any{nil, 0, 42, -7, 3.5, -0.25, true, false} {
+		tag, bits, ok := encodeReplyValue(v)
+		if !ok {
+			t.Fatalf("%v (%T) did not word-encode", v, v)
+		}
+		if got := decodeReplyValue(tag, bits); got != v {
+			t.Errorf("round trip %v (%T): got %v (%T)", v, v, got, got)
+		}
+	}
+	for _, v := range []any{"string", []int{1}, 3.5 + 0i, uint64(1)} {
+		if tag, _, ok := encodeReplyValue(v); ok {
+			t.Errorf("%T word-encoded as tag %d, want boxed fallback", v, tag)
+		}
+	}
+}
+
+// TestFIREncodingRoundTrip pins the hop-list packing and its limits.
+func TestFIREncodingRoundTrip(t *testing.T) {
+	m, _ := allocMachine(t, 2)
+	n := m.nodes[0]
+	addr := Addr{Birth: 1, Hint: 0, Seq: 123}
+	for hops := 1; hops <= firMaxHops; hops++ {
+		path := make([]amnet.NodeID, hops)
+		for i := range path {
+			path[i] = amnet.NodeID(i * 3)
+		}
+		p, ok := encodeFIRPacket(1, addr, path)
+		if !ok {
+			t.Fatalf("%d hops did not word-encode", hops)
+		}
+		req := n.decodeFIR(p)
+		if req.addr != addr {
+			t.Fatalf("addr mangled: %+v", req.addr)
+		}
+		if len(req.path) != hops {
+			t.Fatalf("hops %d: decoded %d", hops, len(req.path))
+		}
+		for i, h := range req.path {
+			if h != path[i] {
+				t.Fatalf("hop %d: got %d want %d", i, h, path[i])
+			}
+		}
+		n.freePath(req.path)
+	}
+	if _, ok := encodeFIRPacket(1, addr, make([]amnet.NodeID, firMaxHops+1)); ok {
+		t.Error("8-hop path word-encoded, want boxed fallback")
+	}
+	if _, ok := encodeFIRPacket(1, addr, []amnet.NodeID{1 << 16}); ok {
+		t.Error("wide node id word-encoded, want boxed fallback")
+	}
+}
+
+// TestLocEncodingRoundTrip pins the location-triple layout, including
+// NoNode survival.
+func TestLocEncodingRoundTrip(t *testing.T) {
+	addr := Addr{Birth: 3, Hint: amnet.NoNode, Seq: 1 << 40}
+	p := locPacket(0, 1, addr, amnet.NoNode, 77)
+	gotAddr, gotNode, gotSeq := decodeLoc(p)
+	if gotAddr != addr || gotNode != amnet.NoNode || gotSeq != 77 {
+		t.Errorf("round trip: %+v node=%d seq=%d", gotAddr, gotNode, gotSeq)
+	}
+}

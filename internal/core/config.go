@@ -29,6 +29,11 @@ type Config struct {
 	// protocol.  Default 512.
 	SegWords int
 
+	// BatchMax bounds how many control packets to one destination may
+	// coalesce into a single interconnect injection (see amnet.Config).
+	// Zero selects the network default (32); negative disables batching.
+	BatchMax int
+
 	// LoadBalance enables receiver-initiated random-polling dynamic load
 	// balancing: idle nodes steal deferred creations (NewAuto) from
 	// random victims.

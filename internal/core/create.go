@@ -16,21 +16,9 @@ import (
 // registers the new actor under the alias and sends the locality
 // descriptor's address back as background processing.
 
-// aliasBind resolves an alias on its birthplace: the actor was created on
-// node, under descriptor slot seq.
-type aliasBind struct {
-	alias Addr
-	node  amnet.NodeID
-	seq   uint64
-}
-
-// cacheUpdate carries a descriptor address back to a sender ("the memory
-// address of the locality descriptor in the receiving node is sent back").
-type cacheUpdate struct {
-	addr Addr
-	node amnet.NodeID
-	seq  uint64
-}
+// Alias-bind and cache-update notices ("the memory address of the
+// locality descriptor in the receiving node is sent back") are pure
+// location triples and travel word-encoded — see wire.go.
 
 // newAlias allocates an alias descriptor for a creation targeted at hint.
 func (n *node) newAlias(hint amnet.NodeID) Addr {
@@ -48,12 +36,9 @@ func (n *node) createRemote(dst amnet.NodeID, t TypeID, args []any, prog *Progra
 	n.stats.CreatesRemote++
 	n.charge(n.m.costs.CreateAlias)
 	n.m.incLive(prog, 1)
-	n.sendCtl(amnet.Packet{
-		Handler: hCreate,
-		Dst:     dst,
-		VT:      n.stamp(0),
-		Payload: &spawnRecord{alias: alias, typ: t, args: args, prog: prog},
-	}, prog, 1, 1)
+	rec := n.newSpawn()
+	rec.alias, rec.typ, rec.args, rec.prog = alias, t, args, prog
+	n.sendCtl(amnet.Packet{Handler: hCreate, Dst: dst, VT: n.stamp(0), Payload: rec}, prog, 1, 1)
 	return alias
 }
 
@@ -65,7 +50,9 @@ func (n *node) createDeferred(t TypeID, args []any, prog *Program) Addr {
 	n.stats.SpawnsQueued++
 	n.charge(n.m.costs.CreateAlias)
 	n.m.incLive(prog, 1)
-	n.spawnq.PushBack(&spawnRecord{alias: alias, typ: t, args: args, vt: n.vclock, prog: prog})
+	rec := n.newSpawn()
+	rec.alias, rec.typ, rec.args, rec.vt, rec.prog = alias, t, args, n.vclock, prog
+	n.spawnq.PushBack(rec)
 	return alias
 }
 

@@ -189,7 +189,7 @@ func (n *node) deliverVia(ld *names.LD, seq uint64, msg *Message) {
 	switch ld.State {
 	case names.LDLocal:
 		if msg.routed {
-			n.sendCacheUpdate(msg, seq)
+			n.cacheBack(msg, seq)
 		}
 		n.enqueueLocal(ld.Actor.(*Actor), msg)
 	case names.LDRemote:
@@ -217,19 +217,15 @@ func (n *node) deliverVia(ld *names.LD, seq uint64, msg *Message) {
 	}
 }
 
-// sendCacheUpdate propagates this node's descriptor address for msg.To
-// back to the original sender, to be cached in the descriptor it
-// allocated (§ 4.1).
-func (n *node) sendCacheUpdate(msg *Message, seq uint64) {
+// cacheBack propagates this node's descriptor address for msg.To back to
+// the original sender, to be cached in the descriptor it allocated
+// (§ 4.1).
+func (n *node) cacheBack(msg *Message, seq uint64) {
 	if msg.originLD == 0 || msg.origin == n.id {
 		return
 	}
 	n.stats.CacheUpdates++
-	n.sendCtl(amnet.Packet{
-		Handler: hCacheUpdate,
-		Dst:     msg.origin,
-		Payload: cacheUpdate{addr: msg.To, node: n.id, seq: seq},
-	}, nil, 0, 0)
+	n.sendCacheUpdate(msg.origin, msg.To, n.id, seq)
 }
 
 // applyCacheUpdate installs a remote descriptor address learned from a
@@ -281,11 +277,7 @@ func (n *node) maybeSendFIR(ld *names.LD, addr Addr) {
 	ld.FIRSent = true
 	n.stats.FIRSent++
 	n.trace(EvFIRSent, addr, ld.RNode)
-	n.sendCtl(amnet.Packet{
-		Handler: hFIR,
-		Dst:     ld.RNode,
-		Payload: firReq{addr: addr, path: []amnet.NodeID{n.id}},
-	}, nil, 0, 0)
+	n.sendFIR(ld.RNode, firReq{addr: addr, path: append(n.newPath(), n.id)})
 }
 
 // handleFIR processes a forwarding information request at this node.
@@ -302,6 +294,7 @@ func (n *node) handleFIR(req firReq) {
 		// No trace of the actor: it died (or never existed).  Tell the
 		// whole chain so held messages become dead letters.
 		n.answerFIR(req, amnet.NoNode, 0)
+		n.freePath(req.path)
 		return
 	}
 	switch ld.State {
@@ -310,36 +303,36 @@ func (n *node) handleFIR(req firReq) {
 		n.stats.FIRServed++
 		n.trace(EvFIRServed, addr, amnet.NoNode)
 		n.answerFIR(req, n.id, seq)
+		n.freePath(req.path)
 	case names.LDRemote:
 		if ld.RNode == amnet.NoNode {
 			n.answerFIR(req, amnet.NoNode, 0)
+			n.freePath(req.path)
 			return
 		}
 		// Relay one hop further along the migration history.
 		n.stats.FIRRelayed++
 		req.path = append(req.path, n.id)
-		n.sendCtl(amnet.Packet{Handler: hFIR, Dst: ld.RNode, Payload: req}, nil, 0, 0)
+		n.sendFIR(ld.RNode, req)
 	case names.LDInTransit, names.LDUnresolved, names.LDAliasPending:
 		// We don't know the answer yet either; park the request, it is
 		// re-relayed when this descriptor resolves.
 		ld.Held = append(ld.Held, req)
 	default: // LDDead, LDFree: the chain's held messages are dead letters
 		n.answerFIR(req, amnet.NoNode, 0)
+		n.freePath(req.path)
 	}
 }
 
-// answerFIR sends the located (or dead) address to every chain node.
+// answerFIR sends the located (or dead) address to every chain node.  The
+// request's path is still the caller's to free.
 func (n *node) answerFIR(req firReq, node amnet.NodeID, seq uint64) {
 	for _, p := range req.path {
 		if p == n.id {
 			n.applyCacheUpdate(req.addr, node, seq)
 			continue
 		}
-		n.sendCtl(amnet.Packet{
-			Handler: hFIRFound,
-			Dst:     p,
-			Payload: cacheUpdate{addr: req.addr, node: node, seq: seq},
-		}, nil, 0, 0)
+		n.sendLoc(hFIRFound, p, req.addr, node, seq)
 	}
 }
 
@@ -372,12 +365,14 @@ func (n *node) releaseHeld(ld *names.LD, addr Addr) {
 			case ld.State == names.LDLocal:
 				n.stats.FIRServed++
 				n.answerFIR(v, n.id, addrSeqOnNode(n, addr))
+				n.freePath(v.path)
 			case ld.RNode == amnet.NoNode:
 				n.answerFIR(v, amnet.NoNode, 0)
+				n.freePath(v.path)
 			default:
 				n.stats.FIRRelayed++
 				v.path = append(v.path, n.id)
-				n.sendCtl(amnet.Packet{Handler: hFIR, Dst: ld.RNode, Payload: v}, nil, 0, 0)
+				n.sendFIR(ld.RNode, v)
 			}
 		}
 	}

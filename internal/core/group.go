@@ -86,7 +86,7 @@ func (n *node) handleGroupCreate(gc groupCreate, vt float64) {
 			cnt := subtreeMembers(gc.g, gc.g.Birth, c, p)
 			n.sendCtlUnits(pkt, relUnit{prog: gc.prog, live: cnt, letters: uint64(cnt)}, nil)
 		} else {
-			n.ep.Send(pkt)
+			n.ep.SendBatched(pkt)
 		}
 	}
 	e := &groupEntry{g: gc.g}
@@ -98,7 +98,9 @@ func (n *node) handleGroupCreate(gc groupCreate, vt float64) {
 		args := make([]any, 0, len(gc.args)+2)
 		args = append(args, i, gc.g)
 		args = append(args, gc.args...)
-		n.instantiate(&spawnRecord{alias: alias, typ: gc.typ, args: args, vt: vt, prog: gc.prog})
+		rec := n.newSpawn()
+		rec.alias, rec.typ, rec.args, rec.vt, rec.prog = alias, gc.typ, args, vt, gc.prog
+		n.instantiate(rec)
 		e.idxs = append(e.idxs, i)
 		e.addrs = append(e.addrs, alias)
 	}
@@ -142,7 +144,7 @@ func (n *node) handleBcast(bw *bcastWork, vt float64) {
 			cnt := subtreeMembers(bw.g, bw.root, c, p)
 			n.sendCtlUnits(pkt, relUnit{prog: bw.msg.prog, live: cnt, letters: uint64(cnt)}, nil)
 		} else {
-			n.ep.Send(pkt)
+			n.ep.SendBatched(pkt)
 		}
 	}
 	if _, known := n.groups[bw.g.ID]; !known {

@@ -75,8 +75,8 @@ func registerKernelHandlers(m *Machine) {
 	})
 
 	reg(hCacheUpdate, func(ep *amnet.Endpoint, p amnet.Packet) {
-		cu := p.Payload.(cacheUpdate)
-		at(ep).applyCacheUpdate(cu.addr, cu.node, cu.seq)
+		addr, node, seq := decodeLoc(p)
+		at(ep).applyCacheUpdate(addr, node, seq)
 	})
 
 	reg(hCreate, func(ep *amnet.Endpoint, p amnet.Packet) {
@@ -92,19 +92,20 @@ func registerKernelHandlers(m *Machine) {
 
 	reg(hAliasBind, func(ep *amnet.Endpoint, p amnet.Packet) {
 		n := at(ep)
-		ab := p.Payload.(aliasBind)
-		if ld := n.arena.Get(ab.alias.Seq); ld != nil && ld.State != names.LDLocal {
-			n.resolveAlias(ld, ab.alias, ab.node, ab.seq)
+		alias, node, seq := decodeLoc(p)
+		if ld := n.arena.Get(alias.Seq); ld != nil && ld.State != names.LDLocal {
+			n.resolveAlias(ld, alias, node, seq)
 		}
 	})
 
 	reg(hFIR, func(ep *amnet.Endpoint, p amnet.Packet) {
-		at(ep).handleFIR(p.Payload.(firReq))
+		n := at(ep)
+		n.handleFIR(n.decodeFIR(p))
 	})
 
 	reg(hFIRFound, func(ep *amnet.Endpoint, p amnet.Packet) {
-		cu := p.Payload.(cacheUpdate)
-		at(ep).applyCacheUpdate(cu.addr, cu.node, cu.seq)
+		addr, node, seq := decodeLoc(p)
+		at(ep).applyCacheUpdate(addr, node, seq)
 	})
 
 	reg(hMigrate, func(ep *amnet.Endpoint, p amnet.Packet) {
@@ -112,8 +113,8 @@ func registerKernelHandlers(m *Machine) {
 	})
 
 	reg(hMigrateAck, func(ep *amnet.Endpoint, p amnet.Packet) {
-		cu := p.Payload.(cacheUpdate)
-		at(ep).applyCacheUpdate(cu.addr, cu.node, cu.seq)
+		addr, node, seq := decodeLoc(p)
+		at(ep).applyCacheUpdate(addr, node, seq)
 	})
 
 	reg(hStealReq, func(ep *amnet.Endpoint, p amnet.Packet) {
@@ -137,7 +138,13 @@ func registerKernelHandlers(m *Machine) {
 	})
 
 	reg(hReply, func(ep *amnet.Endpoint, p amnet.Packet) {
-		at(ep).applyReply(p.U0, int32(uint32(p.U1)), p.Payload.(replyEnvelope), p.VT)
+		n := at(ep)
+		slot := int32(uint32(p.U1))
+		if env, ok := p.Payload.(replyEnvelope); ok { // boxed fallback
+			n.applyReply(p.U0, slot, env.v, env.prog, p.VT)
+			return
+		}
+		n.applyReply(p.U0, slot, decodeReplyValue(p.U1>>32, p.U2), n.m.progByID(p.U3), p.VT)
 	})
 
 	reg(hLoadProgram, func(ep *amnet.Endpoint, p amnet.Packet) {

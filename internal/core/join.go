@@ -119,15 +119,17 @@ func (n *node) runJoin(j *joinCont) {
 	n.m.decLiveProg(j.prog)
 }
 
-// replyEnvelope carries a reply value with its work-accounting program.
+// replyEnvelope carries a reply value that does not word-encode, with its
+// work-accounting program (the boxed fallback of the hReply wire format in
+// wire.go).
 type replyEnvelope struct {
 	v    any
 	prog *Program
 }
 
-// applyReply handles an incoming reply packet.
-func (n *node) applyReply(jcSeq uint64, slot int32, env replyEnvelope, vt float64) {
-	n.fillSlot(jcSeq, slot, env.v, true, vt, env.prog)
+// applyReply handles an incoming reply.
+func (n *node) applyReply(jcSeq uint64, slot int32, v any, prog *Program, vt float64) {
+	n.fillSlot(jcSeq, slot, v, true, vt, prog)
 }
 
 // sendReply routes a reply value to the requester's continuation slot.
@@ -135,15 +137,24 @@ func (n *node) sendReply(rt ReplyTo, v any, prog *Program) {
 	n.charge(n.m.costs.Reply)
 	n.m.incLive(prog, 1)
 	if rt.Node == n.id {
-		n.applyReply(rt.JC, rt.Slot, replyEnvelope{v: v, prog: prog}, n.vclock)
+		n.applyReply(rt.JC, rt.Slot, v, prog, n.vclock)
 		return
 	}
-	n.sendCtl(amnet.Packet{
+	pkt := amnet.Packet{
 		Handler: hReply,
 		Dst:     rt.Node,
 		U0:      rt.JC,
 		U1:      uint64(uint32(rt.Slot)),
 		VT:      n.stamp(0),
-		Payload: replyEnvelope{v: v, prog: prog},
-	}, prog, 1, 1)
+	}
+	if tag, bits, ok := encodeReplyValue(v); ok {
+		pkt.U1 |= tag << 32
+		pkt.U2 = bits
+		if prog != nil {
+			pkt.U3 = prog.id
+		}
+	} else {
+		pkt.Payload = replyEnvelope{v: v, prog: prog}
+	}
+	n.sendCtl(pkt, prog, 1, 1)
 }

@@ -58,6 +58,10 @@ type Machine struct {
 	frontEP  *amnet.Endpoint
 	launchMu sync.Mutex
 	progSeq  atomic.Uint64
+	// progTab maps program id -> *Program (id 1 at index 0) so replies can
+	// carry the program as a word.  Copy-on-write under launchMu; readers
+	// load lock-free from handler context.
+	progTab atomic.Pointer[[]*Program]
 
 	monDone   chan struct{}
 	monExited chan struct{}
@@ -93,6 +97,7 @@ func NewMachine(cfg Config) (*Machine, error) {
 		InboxCap: cfg.InboxCap,
 		Flow:     cfg.Flow,
 		SegWords: cfg.SegWords,
+		BatchMax: cfg.BatchMax,
 		Faults:   cfg.Faults,
 	})
 	if err != nil {
@@ -318,3 +323,28 @@ func (m *Machine) RetryExhausted() bool { return m.relExhausted.Load() }
 
 // node returns node id's kernel; exported lookups go through Context.
 func (m *Machine) node(id amnet.NodeID) *node { return m.nodes[id] }
+
+// registerProg appends prog to the id->program table.  Caller holds
+// launchMu, so prog.id == len(table)+1 exactly.
+func (m *Machine) registerProg(prog *Program) {
+	old := m.progTab.Load()
+	var tab []*Program
+	if old != nil {
+		tab = append(tab, *old...)
+	}
+	tab = append(tab, prog)
+	m.progTab.Store(&tab)
+}
+
+// progByID resolves a program id from the wire; 0 (and unknown ids) is
+// nil, matching an untagged reply.
+func (m *Machine) progByID(id uint64) *Program {
+	if id == 0 {
+		return nil
+	}
+	tab := m.progTab.Load()
+	if tab == nil || id > uint64(len(*tab)) {
+		return nil
+	}
+	return (*tab)[id-1]
+}

@@ -71,7 +71,7 @@ func (n *node) startMigration(a *Actor) {
 	n.m.incLive(a.prog, 1)
 	pkt := amnet.Packet{Handler: hMigrate, Dst: dst, VT: n.stamp(0), Payload: bundle}
 	if !n.m.relOn {
-		n.ep.Send(pkt)
+		n.ep.SendBatched(pkt)
 		return
 	}
 	// A lost bundle strands the bundle unit AND every queued message; the
@@ -163,6 +163,7 @@ func (n *node) handleMigrate(src amnet.NodeID, bundle *migBundle, vt float64) {
 		case firReq:
 			n.stats.FIRServed++
 			n.answerFIR(v, n.id, seq)
+			n.freePath(v.path)
 		}
 	}
 	n.stats.MigratedIn++
@@ -182,27 +183,15 @@ func (n *node) handleMigrate(src amnet.NodeID, bundle *migBundle, vt float64) {
 		}
 	}
 
-	n.sendCtl(amnet.Packet{
-		Handler: hMigrateAck,
-		Dst:     src,
-		Payload: cacheUpdate{addr: a.addr, node: n.id, seq: seq},
-	}, nil, 0, 0)
+	n.sendLoc(hMigrateAck, src, a.addr, n.id, seq)
 	if a.addr.Birth != src && a.addr.Birth != n.id {
-		n.sendCtl(amnet.Packet{
-			Handler: hCacheUpdate,
-			Dst:     a.addr.Birth,
-			Payload: cacheUpdate{addr: a.addr, node: n.id, seq: seq},
-		}, nil, 0, 0)
+		n.sendCacheUpdate(a.addr.Birth, a.addr, n.id, seq)
 	}
 	// The alias's birthplace needs the update even when it IS the old
 	// home (src): the ack above only names the ordinary address, and a
 	// co-located alias descriptor forwards independently.
 	if !a.alias.IsNil() && a.alias.Birth != n.id {
-		n.sendCtl(amnet.Packet{
-			Handler: hCacheUpdate,
-			Dst:     a.alias.Birth,
-			Payload: cacheUpdate{addr: a.alias, node: n.id, seq: seq},
-		}, nil, 0, 0)
+		n.sendCacheUpdate(a.alias.Birth, a.alias, n.id, seq)
 	}
 	n.flushPendingAddr(a.addr)
 	if !a.alias.IsNil() {

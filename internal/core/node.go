@@ -72,7 +72,11 @@ type node struct {
 	stats NodeStats
 	ctx   Context
 
-	msgFree []*Message
+	// Control-plane arenas (wire.go): message, spawn-record, and FIR-path
+	// freelists, disabled under fault injection.
+	msgFree   []*Message
+	spawnFree []*spawnRecord
+	pathFree  [][]amnet.NodeID
 
 	stealOut     bool // a steal request is outstanding
 	stealBackoff time.Duration
@@ -248,6 +252,7 @@ func (n *node) purge() {
 	n.nextSteal = time.Time{}
 	n.stealSent = time.Time{}
 	n.rel.reset()
+	n.ep.DiscardOutbound() // staged batches must not leak into the next run
 	n.ep.FaultReset()
 	n.arena.ForEach(func(seq uint64, ld *names.LD) {
 		ld.Held = nil
@@ -488,11 +493,7 @@ func (n *node) instantiate(rec *spawnRecord) {
 	n.stats.CreatesServed++
 	n.trace(EvCreateServed, rec.alias, rec.alias.Birth)
 	if rec.alias.Birth != n.id {
-		n.sendCtl(amnet.Packet{
-			Handler: hAliasBind,
-			Dst:     rec.alias.Birth,
-			Payload: aliasBind{alias: rec.alias, node: n.id, seq: a.seq},
-		}, nil, 0, 0)
+		n.sendLoc(hAliasBind, rec.alias.Birth, rec.alias, n.id, a.seq)
 	} else {
 		// Deferred local creation (NewAuto executed at home): resolve
 		// the alias descriptor directly.
@@ -502,6 +503,7 @@ func (n *node) instantiate(rec *spawnRecord) {
 	}
 	n.flushPendingAddr(rec.alias)
 	n.m.decLiveProg(rec.prog)
+	n.freeSpawn(rec)
 }
 
 // flushPendingAddr delivers messages that were held for addr before its

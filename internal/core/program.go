@@ -143,13 +143,15 @@ func (m *Machine) Launch(root func(ctx *Context)) (*Program, error) {
 	if !m.running.Load() {
 		return nil, fmt.Errorf("core: Launch before Start")
 	}
-	prog := &Program{id: m.progSeq.Add(1), m: m, done: make(chan struct{})}
-	m.incLive(prog, 1) // the bootstrap message
 	// The front end injects the load through its own endpoint; node 0's
 	// kernel instantiates the root actor (program loading is node-manager
 	// work, like any other request).  Launches may come from several user
-	// goroutines; the endpoint itself is single-owner.
+	// goroutines; the endpoint itself is single-owner.  Id allocation and
+	// table registration sit inside the lock so ids match table order.
 	m.launchMu.Lock()
+	prog := &Program{id: m.progSeq.Add(1), m: m, done: make(chan struct{})}
+	m.registerProg(prog)
+	m.incLive(prog, 1) // the bootstrap message
 	m.frontEP.Send(amnet.Packet{
 		Handler: hLoadProgram,
 		Dst:     0,

@@ -138,10 +138,25 @@ func (r *relState) accept(src amnet.NodeID, seq uint64) bool {
 // live-work unit.  With fault injection off this is a plain Send.
 func (n *node) sendCtl(p amnet.Packet, prog *Program, live int64, letters uint64) {
 	if !n.m.relOn {
-		n.ep.Send(p)
+		n.ep.SendBatched(p)
 		return
 	}
 	n.sendCtlUnits(p, relUnit{prog: prog, live: live, letters: letters}, nil)
+}
+
+// sendCtlNow is sendCtl for the location-repair plane (cache updates,
+// FIRs and their answers, migration acks, alias binds): single-word
+// packets whose whole point is to shorten forwarding chains, so they
+// skip output coalescing — a repair that waits in a staging buffer for
+// the sender's next poll boundary lets routed traffic keep paying the
+// chain in the meantime.  Under fault injection the sequenced retry path
+// takes over and urgency is moot.
+func (n *node) sendCtlNow(p amnet.Packet) {
+	if !n.m.relOn {
+		n.ep.SendNow(p)
+		return
+	}
+	n.sendCtlUnits(p, relUnit{}, nil)
 }
 
 // sendCtlUnits is sendCtl for packets carrying several units (reliable
@@ -158,14 +173,14 @@ func (n *node) sendCtlUnits(p amnet.Packet, unit relUnit, extra []relUnit) {
 		unit:     unit,
 		extra:    extra,
 	}
-	n.ep.Send(p)
+	n.ep.SendBatched(p)
 }
 
 // ackCtl acknowledges receipt of sequenced packet seq from src.  Acks
 // are unsequenced (an ack of an ack would never terminate); a lost ack
 // just costs one retransmission, which the receiver dedups.
 func (n *node) ackCtl(src amnet.NodeID, seq uint64) {
-	n.ep.Send(amnet.Packet{Handler: hCtlAck, Dst: src, U0: seq})
+	n.ep.SendBatched(amnet.Packet{Handler: hCtlAck, Dst: src, U0: seq})
 }
 
 func (n *node) handleCtlAck(src amnet.NodeID, seq uint64) {
@@ -220,6 +235,9 @@ func (n *node) escalate(e *relEntry) {
 		// (Chain nodes behind us time out on their own FIRs.)
 		if req, ok := e.pkt.Payload.(firReq); ok {
 			n.abandonFIR(req.addr)
+		} else { // word-encoded FIR: the address rides in U0/U1
+			addr, _, _ := decodeLoc(e.pkt)
+			n.abandonFIR(addr)
 		}
 	}
 	n.retireUnit(e.unit)
@@ -262,6 +280,7 @@ func (n *node) abandonFIR(addr Addr) {
 			n.dropMsg(v)
 		case firReq:
 			n.answerFIR(v, amnet.NoNode, 0)
+			n.freePath(v.path)
 		}
 	}
 }
