@@ -155,12 +155,13 @@ func (c *Config) applyDefaults() error {
 // Network is the simulated machine interconnect: P endpoints plus the
 // shared handler table.
 type Network struct {
-	cfg      Config
-	eps      []*Endpoint
-	handlers [256]Handler
-	lossless [256]bool
-	observer FaultObserver
-	sealed   atomic.Bool
+	cfg       Config
+	eps       []*Endpoint
+	handlers  [256]Handler
+	lossless  [256]bool
+	observer  FaultObserver
+	sealed    atomic.Bool
+	batchPool sync.Pool
 }
 
 // NewNetwork builds a network with the given configuration.  Handlers must
@@ -170,6 +171,11 @@ func NewNetwork(cfg Config) (*Network, error) {
 		return nil, err
 	}
 	nw := &Network{cfg: cfg}
+	bm := cfg.BatchMax
+	nw.batchPool.New = func() any {
+		b := make([]Packet, 0, bm)
+		return &b
+	}
 	nw.eps = make([]*Endpoint, cfg.Nodes)
 	for i := range nw.eps {
 		nw.eps[i] = &Endpoint{
@@ -220,31 +226,27 @@ type qItem struct {
 	batch *[]Packet
 }
 
-// batchPool recycles the packet slices that travel inside batch items.
-// It is package-level (not per-endpoint) deliberately: under
-// unidirectional traffic a sender-owned freelist would drain to the
-// receiver and never refill, reintroducing a steady-state allocation.
-var batchPool = sync.Pool{New: func() any {
-	b := make([]Packet, 0, defaultBatchMax)
-	return &b
-}}
-
-func newBatch() *[]Packet { return batchPool.Get().(*[]Packet) }
+// newBatch takes a packet slice from the network's batch pool.  The pool
+// is per-Network (not per-endpoint) deliberately: under unidirectional
+// traffic a sender-owned freelist would drain to the receiver and never
+// refill, reintroducing a steady-state allocation.  Slices are sized to
+// the configured BatchMax so a full batch never reallocates mid-append.
+func (nw *Network) newBatch() *[]Packet { return nw.batchPool.Get().(*[]Packet) }
 
 // freeBatch zeroes the entries (dropping Payload/Data references) and
 // returns the slice to the pool.
-func freeBatch(b *[]Packet) {
+func (nw *Network) freeBatch(b *[]Packet) {
 	s := *b
 	for i := range s {
 		s[i] = Packet{}
 	}
-	if cap(s) > defaultBatchMax*batchBypassFactor {
+	if cap(s) > nw.cfg.BatchMax*batchBypassFactor {
 		// Grown by reentrant staging during a parked flush; pooling it
 		// would let one pathological drain bloat every later batch.
 		return
 	}
 	*b = s[:0]
-	batchPool.Put(b)
+	nw.batchPool.Put(b)
 }
 
 // outBuf is one destination link's staging buffer for SendBatched.
@@ -286,6 +288,9 @@ type Endpoint struct {
 	// Send-side coalescing state (owned by the endpoint's goroutine).
 	out       []outBuf
 	dirtyList []NodeID
+	// flushingOut marks a flushOut pass in progress; nested passes no-op
+	// and leave the dirty list to the outer one.
+	flushingOut bool
 
 	bulk   bulkState
 	faults *epFaults
@@ -311,19 +316,25 @@ func (ep *Endpoint) Stats() Stats { return ep.stats }
 const maxPollDepth = 64
 
 // reserve claims k packet-tokens of dst inbox capacity, reporting success.
+// It commits with a CAS only when the post-add count fits, so a failed
+// attempt is never visible to concurrent senders — a refusal (TrySend or
+// a stall) always means the inbox really lacked k tokens at that instant,
+// never that another sender's transient overshoot was in flight.
 func (ep *Endpoint) reserve(k int64) bool {
-	if ep.inq.Add(k) > int64(ep.net.cfg.InboxCap) {
-		ep.release(k)
-		return false
+	lim := int64(ep.net.cfg.InboxCap)
+	for {
+		cur := ep.inq.Load()
+		if cur+k > lim {
+			return false
+		}
+		if ep.inq.CompareAndSwap(cur, cur+k) {
+			return true
+		}
 	}
-	return true
 }
 
 // release returns k packet-tokens and hands the baton to a parked sender
-// if one is registered and capacity actually exists — a rollback of a
-// failed reserve on a still-full inbox must not wake the waiter that just
-// failed, or the pair spin hot.  (The rollback still batons when its
-// transient overshoot refused a concurrent sender of real free space.)
+// if one is registered and capacity now exists.
 func (ep *Endpoint) release(k int64) {
 	if ep.inq.Add(-k) < int64(ep.net.cfg.InboxCap) && ep.waiters.Load() > 0 {
 		select {
@@ -336,6 +347,14 @@ func (ep *Endpoint) release(k int64) {
 // reserveOrStall claims k tokens of dst capacity, blocking until they are
 // available.  While waiting below the recursion limit the sender polls its
 // own inbox (the CMAM discipline), so handlers may run reentrantly.
+//
+// Known limitation: a k>1 batch reservation acquires all k tokens
+// atomically or none, so under a sustained stream of single-packet
+// reservations from other senders it can wait until the inbox drains
+// enough for k contiguous tokens.  Progress is still guaranteed (the
+// receiver drains whole items and batches are bounded by BatchMax ≤
+// InboxCap); the batch just queues behind the singles rather than
+// interleaving with them.
 func (ep *Endpoint) reserveOrStall(dst *Endpoint, k int64) {
 	if dst.reserve(k) {
 		return
@@ -429,14 +448,19 @@ func (ep *Endpoint) sendCoalesced(p Packet, urgent bool) {
 		// behind them so per-link FIFO holds.
 	}
 	if b.buf == nil {
-		b.buf = newBatch()
+		b.buf = ep.net.newBatch()
 	}
 	if len(*b.buf) == 0 {
 		b.firstVT = p.VT
-		if !b.dirty {
-			b.dirty = true
-			ep.dirtyList = append(ep.dirtyList, p.Dst)
-		}
+	}
+	// Register for the next flush pass whenever the link is not already
+	// registered — NOT only when the buffer transitions from empty.  A
+	// reentrant stage during flushOut lands after the pass cleared this
+	// link's dirty flag; registering again is what makes the pass's index
+	// loop revisit it instead of stranding the packet.
+	if !b.dirty {
+		b.dirty = true
+		ep.dirtyList = append(ep.dirtyList, p.Dst)
 	}
 	*b.buf = append(*b.buf, p)
 	if len(*b.buf) >= ep.net.cfg.BatchMax ||
@@ -450,18 +474,27 @@ func (ep *Endpoint) sendCoalesced(p Packet, urgent bool) {
 func (ep *Endpoint) Flush() { ep.flushOut() }
 
 func (ep *Endpoint) flushOut() {
-	if len(ep.dirtyList) == 0 {
+	if len(ep.dirtyList) == 0 || ep.flushingOut {
+		// Reentrant flushOut (a blocked injection drained our inbox and a
+		// handler polled) must not run: the outer pass owns the dirty list,
+		// and a nested truncation would orphan entries the outer index loop
+		// has not reached.  Anything staged now re-registers (dirty was
+		// cleared before the flush) and the outer loop picks it up.
 		return
 	}
+	ep.flushingOut = true
 	// Index loop: a flush can run handlers reentrantly (blocked injection
-	// drains our own inbox), and those may stage packets to new links.
+	// drains our own inbox), and those may stage packets — to new links OR
+	// to links this pass already flushed.  Clearing dirty BEFORE flushing
+	// makes any such stage re-append the link, so the loop revisits it;
+	// by loop exit every registered buffer has drained.
 	for i := 0; i < len(ep.dirtyList); i++ {
-		ep.flushDst(ep.dirtyList[i])
-	}
-	for _, d := range ep.dirtyList {
+		d := ep.dirtyList[i]
 		ep.out[d].dirty = false
+		ep.flushDst(d)
 	}
 	ep.dirtyList = ep.dirtyList[:0]
+	ep.flushingOut = false
 }
 
 // flushDst drains one link's staging buffer into the network.
@@ -505,7 +538,7 @@ func (ep *Endpoint) injectBatch(dst NodeID, buf *[]Packet) {
 		for _, p := range *buf {
 			ep.sendStamped(p)
 		}
-		freeBatch(buf)
+		ep.net.freeBatch(buf)
 		return
 	}
 	d := ep.net.eps[dst]
@@ -520,10 +553,12 @@ func (ep *Endpoint) injectBatch(dst NodeID, buf *[]Packet) {
 // it.  Used by machine shutdown, where the network is being drained and
 // unsent control traffic is dead anyway.
 func (ep *Endpoint) DiscardOutbound() {
-	for i := range ep.dirtyList {
-		b := &ep.out[ep.dirtyList[i]]
+	// Sweep every link, not just the dirty list: shutdown must reclaim
+	// buffers even if dirty bookkeeping was mid-transition.
+	for i := range ep.out {
+		b := &ep.out[i]
 		if b.buf != nil {
-			freeBatch(b.buf)
+			ep.net.freeBatch(b.buf)
 			b.buf = nil
 		}
 		b.firstVT = 0
@@ -563,7 +598,7 @@ func (ep *Endpoint) consume(q qItem) int {
 	for i := range pkts {
 		ep.receive(pkts[i])
 	}
-	freeBatch(q.batch)
+	ep.net.freeBatch(q.batch)
 	return n
 }
 
@@ -704,7 +739,7 @@ func (ep *Endpoint) PollDiscard() bool {
 	case q := <-ep.inbox:
 		if q.batch != nil {
 			ep.release(int64(len(*q.batch)))
-			freeBatch(q.batch)
+			ep.net.freeBatch(q.batch)
 		} else {
 			ep.release(1)
 		}

@@ -237,6 +237,65 @@ func TestRecvBlockDrainsDelayed(t *testing.T) {
 	}
 }
 
+// TestFlushReentrantRestageNotStranded is the regression test for the
+// stranded-staging bug: during flushOut, a blocked injection drains the
+// sender's own inbox, and a handler run there may SendBatched to a link
+// the same pass already flushed.  That packet must be re-registered and
+// flushed by the same pass — not left in a buffer no future flush visits.
+func TestFlushReentrantRestageNotStranded(t *testing.T) {
+	var got []uint64
+	sig := make(chan struct{})
+	nw := newTestNet(t, Config{Nodes: 3, InboxCap: 2, BatchMax: 8}, map[HandlerID]Handler{
+		hCount: func(_ *Endpoint, p Packet) { got = append(got, p.U0) },
+		hPong:  func(*Endpoint, Packet) {},
+		hPing: func(ep *Endpoint, _ Packet) {
+			// Runs on node 0 reentrantly, while flushOut is parked
+			// injecting into node 2 — after the pass already flushed
+			// link 1.
+			ep.SendBatched(Packet{Handler: hCount, Dst: 1, U0: 2})
+			close(sig)
+		},
+	})
+	ep0, ep1, ep2 := nw.Endpoint(0), nw.Endpoint(1), nw.Endpoint(2)
+	// Fill node 2's inbox so node 0's flush to it must stall.
+	ep1.Send(Packet{Handler: hPong, Dst: 2})
+	ep1.Send(Packet{Handler: hPong, Dst: 2})
+	// Park the stager in node 0's inbox: the stalled flush drains it.
+	ep1.Send(Packet{Handler: hPing, Dst: 0})
+	// Stage one packet per link; dirty list is [1, 2].
+	ep0.SendBatched(Packet{Handler: hCount, Dst: 1, U0: 1})
+	ep0.SendBatched(Packet{Handler: hPong, Dst: 2})
+	// Once the reentrant stage happened, free node 2's inbox so the
+	// parked flush can complete.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-sig
+		ep2.PollOne()
+	}()
+	ep0.Flush()
+	<-done
+	// The single Flush must have delivered BOTH packets to node 1's
+	// inbox, in staging order.
+	ep1.PollAll()
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("delivered %v, want [1 2] (reentrantly staged packet stranded?)", got)
+	}
+}
+
+// TestBatchPoolSizedToBatchMax checks that pooled batch slices are sized
+// from the configured BatchMax, not the package default: a BatchMax > 32
+// must not force a reallocation on every full batch.
+func TestBatchPoolSizedToBatchMax(t *testing.T) {
+	nw, err := NewNetwork(Config{Nodes: 2, InboxCap: 1024, BatchMax: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b := nw.newBatch(); cap(*b) != 64 {
+		t.Fatalf("pooled batch cap = %d, want BatchMax = 64", cap(*b))
+	}
+}
+
 // TestTrySendCountsTryStalls checks the refusal counter on the
 // non-blocking path: flow-controlled bulk pumps report link pressure.
 func TestTrySendCountsTryStalls(t *testing.T) {
