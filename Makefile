@@ -1,0 +1,28 @@
+GO ?= go
+HALVET := $(CURDIR)/bin/halvet
+
+.PHONY: all build test lint tables clean
+
+all: build lint test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The project's own analyzer suite via the standard vettool protocol —
+# the same invocation the lint CI job runs.
+lint: $(HALVET)
+	$(GO) vet -vettool=$(HALVET) ./...
+
+$(HALVET): FORCE
+	$(GO) build -o $(HALVET) ./cmd/halvet
+
+FORCE:
+
+tables:
+	$(GO) run ./cmd/haltables
+
+clean:
+	rm -rf bin

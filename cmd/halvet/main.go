@@ -1,0 +1,136 @@
+// Command halvet is the HAL runtime's invariant checker: a multichecker
+// driving the four analyzers in internal/analysis (handlernoblock,
+// poolowner, repairplane, endpointaffinity).
+//
+// Two ways to run it:
+//
+//	halvet ./...                      # standalone, from the module root
+//	go vet -vettool=$(which halvet) ./...
+//
+// The second form speaks the toolchain's unitchecker protocol: `go vet`
+// interrogates the binary with -V=full (build-cache keying) and -flags
+// (supported analyzer flags), then invokes it once per package with a JSON
+// config file ending in .cfg, caching the per-package fact files (vetx)
+// it writes.  Facts carry handler-reachability across packages, so
+// cross-package blocking paths are found in both modes.
+//
+// Exit status: 0 clean, 1 internal error, 2 findings.
+package main
+
+import (
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"hal/internal/analysis"
+)
+
+func main() {
+	// -V=full must work before flag.Parse sees anything else: the go
+	// command probes it to key the build cache on this binary.
+	for _, arg := range os.Args[1:] {
+		if arg == "-V=full" || arg == "--V=full" {
+			printVersion()
+			return
+		}
+		if arg == "-flags" || arg == "--flags" {
+			printFlagsJSON()
+			return
+		}
+	}
+
+	enabled := map[string]*bool{}
+	for _, az := range analysis.Suite() {
+		enabled[az.Name] = flag.Bool(az.Name, true, "run the "+az.Name+" analyzer")
+	}
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: halvet [-<analyzer>=false ...] ./...\n")
+		fmt.Fprintf(os.Stderr, "   or: go vet -vettool=$(which halvet) ./...\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	var suite []*analysis.Analyzer
+	for _, az := range analysis.Suite() {
+		if *enabled[az.Name] {
+			suite = append(suite, az)
+		}
+	}
+
+	args := flag.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(runVetUnit(args[0], suite))
+	}
+	os.Exit(runStandalone(args, suite))
+}
+
+// runStandalone analyzes package patterns in the current module.
+func runStandalone(patterns []string, suite []*analysis.Analyzer) int {
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "halvet:", err)
+		return 1
+	}
+	findings, err := analysis.AnalyzeModule(wd, patterns, suite)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "halvet:", err)
+		return 1
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		if findings[i].Pos.Filename != findings[j].Pos.Filename {
+			return findings[i].Pos.Filename < findings[j].Pos.Filename
+		}
+		return findings[i].Pos.Offset < findings[j].Pos.Offset
+	})
+	for _, f := range findings {
+		f.Pos.Filename = relTo(wd, f.Pos.Filename)
+		fmt.Fprintln(os.Stderr, f)
+	}
+	if len(findings) > 0 {
+		return 2
+	}
+	return 0
+}
+
+func relTo(wd, name string) string {
+	if r, err := filepath.Rel(wd, name); err == nil && !strings.HasPrefix(r, "..") {
+		return r
+	}
+	return name
+}
+
+// printVersion emits the line `go vet` parses for cache keying.  The
+// "devel" form requires a buildID field; hashing the executable makes the
+// vet cache invalidate whenever halvet itself is rebuilt, so new checks
+// re-run over already-vetted packages.
+func printVersion() {
+	id := "unknown"
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			h := sha256.New()
+			if _, err := io.Copy(h, f); err == nil {
+				id = fmt.Sprintf("%x", h.Sum(nil))[:32]
+			}
+			f.Close()
+		}
+	}
+	fmt.Printf("halvet version devel buildID=%s/%s\n", id, id)
+}
+
+// printFlagsJSON describes the analyzer flags to `go vet` (which forwards
+// matching command-line flags back to us).
+func printFlagsJSON() {
+	fmt.Print("[")
+	for i, az := range analysis.Suite() {
+		if i > 0 {
+			fmt.Print(",")
+		}
+		fmt.Printf(`{"Name":%q,"Bool":true,"Usage":%q}`, az.Name, "run the "+az.Name+" analyzer")
+	}
+	fmt.Println("]")
+}

@@ -348,13 +348,17 @@ func (ep *Endpoint) release(k int64) {
 // available.  While waiting below the recursion limit the sender polls its
 // own inbox (the CMAM discipline), so handlers may run reentrantly.
 //
-// Known limitation: a k>1 batch reservation acquires all k tokens
-// atomically or none, so under a sustained stream of single-packet
-// reservations from other senders it can wait until the inbox drains
-// enough for k contiguous tokens.  Progress is still guaranteed (the
-// receiver drains whole items and batches are bounded by BatchMax ≤
-// InboxCap); the batch just queues behind the singles rather than
-// interleaving with them.
+// A k>1 reservation acquires all k tokens atomically or none, so under a
+// sustained stream of single-packet reservations from other senders it can
+// starve waiting for k contiguous tokens.  Batch injection therefore uses
+// reserveBounded, which gives up after a bounded number of rounds and lets
+// the caller split the batch into fair k=1 sends; reserveOrStall itself is
+// only used for single-token claims, which cannot starve (every release
+// wakes a waiter and any one token satisfies the claim).
+//
+//halvet:allowblock the CMAM poll-while-stalled discipline: the stall loop
+// drains this endpoint's own inbox (or, at depth, relies on the cycle
+// argument above), so a handler reaching this wait still makes progress.
 func (ep *Endpoint) reserveOrStall(dst *Endpoint, k int64) {
 	if dst.reserve(k) {
 		return
@@ -405,6 +409,9 @@ func (ep *Endpoint) sendStamped(p Packet) {
 	dst := ep.net.eps[p.Dst]
 	ep.stats.Sent++
 	ep.reserveOrStall(dst, 1)
+	// Tokens are released only when the receiver dequeues the item, so a
+	// successful reservation guarantees channel room.
+	//halvet:allowblock cannot block: reserveOrStall claimed 1 capacity token
 	dst.inbox <- qItem{pkt: p}
 }
 
@@ -526,27 +533,76 @@ func (ep *Endpoint) flushDst(dst NodeID) {
 	b.flushing = false
 }
 
+// batchReserveRounds bounds how many wakeups a k>1 batch reservation
+// waits for k contiguous tokens.  Under a sustained stream of
+// single-packet reservations from other senders the atomic k-token claim
+// can starve indefinitely — each freed token is stolen before k
+// accumulate — so after this many failed rounds the batch splits into
+// per-packet sends, which contend fairly at k=1.
+const batchReserveRounds = 128
+
 // injectBatch ships a multi-packet buffer as one inbox item, reserving
-// its full packet count against the destination's capacity.
+// its full packet count against the destination's capacity.  When the
+// whole-batch reservation cannot be claimed — the buffer outgrew one
+// reservation (a reentrant flush accumulated past InboxCap) or the
+// contiguous claim starved against single-packet competitors — the batch
+// splits into per-packet sends; delivery order is preserved either way.
 func (ep *Endpoint) injectBatch(dst NodeID, buf *[]Packet) {
 	k := len(*buf)
-	if k > ep.net.cfg.InboxCap {
-		// A reentrant flush grew the buffer past what one reservation can
-		// cover (BatchMax is clamped to InboxCap, but packets staged while
-		// this link was mid-flush accumulate).  Fall back to per-packet
-		// injection; order is preserved.
-		for _, p := range *buf {
-			ep.sendStamped(p)
-		}
-		ep.net.freeBatch(buf)
+	d := ep.net.eps[dst]
+	if k <= ep.net.cfg.InboxCap && ep.reserveBounded(d, int64(k), batchReserveRounds) {
+		ep.stats.Sent += uint64(k)
+		ep.stats.Batches++
+		ep.stats.BatchedPkts += uint64(k)
+		//halvet:allowblock cannot block: reserveBounded claimed all k tokens for this batch
+		d.inbox <- qItem{batch: buf}
 		return
 	}
-	d := ep.net.eps[dst]
-	ep.stats.Sent += uint64(k)
-	ep.stats.Batches++
-	ep.stats.BatchedPkts += uint64(k)
-	ep.reserveOrStall(d, int64(k))
-	d.inbox <- qItem{batch: buf}
+	ep.stats.BatchSplits++
+	for _, p := range *buf {
+		ep.sendStamped(p)
+	}
+	ep.net.freeBatch(buf)
+}
+
+// reserveBounded claims k tokens of dst capacity like reserveOrStall but
+// gives up after rounds failed wakeups, reporting whether the claim
+// succeeded.  Single-token callers should use reserveOrStall, which never
+// fails.
+//
+//halvet:allowblock the CMAM poll-while-stalled discipline with a bounded
+// round count: each wait ends at the next capacity release, and the caller
+// falls back to per-packet injection when the rounds run out.
+func (ep *Endpoint) reserveBounded(dst *Endpoint, k int64, rounds int) bool {
+	if dst.reserve(k) {
+		return true
+	}
+	ep.stats.SendStalls++
+	dst.waiters.Add(1)
+	ok := false
+	for i := 0; !ok && i < rounds; i++ {
+		if ep.depth >= maxPollDepth {
+			// Too deep to drain reentrantly; wait for a release outright
+			// (same cycle argument as reserveOrStall).
+			<-dst.spaceWake
+		} else {
+			select {
+			case <-dst.spaceWake:
+			case q := <-ep.inbox:
+				ep.consume(q)
+			}
+		}
+		ok = dst.reserve(k)
+	}
+	dst.waiters.Add(-1)
+	if dst.waiters.Load() > 0 {
+		// Pass a possibly-consumed baton on to the next waiter.
+		select {
+		case dst.spaceWake <- struct{}{}:
+		default:
+		}
+	}
+	return ok
 }
 
 // DiscardOutbound drops every staged SendBatched packet without injecting
@@ -580,6 +636,7 @@ func (ep *Endpoint) TrySend(p Packet) bool {
 		return false
 	}
 	ep.stats.Sent++
+	//halvet:allowblock cannot block: the reserve above claimed a capacity token
 	dst.inbox <- qItem{pkt: p}
 	return true
 }
@@ -760,6 +817,7 @@ type Stats struct {
 	Polls       uint64 // PollAll calls that handled at least one packet
 	Batches     uint64 // coalesced multi-packet injections
 	BatchedPkts uint64 // packets that traveled inside those batches
+	BatchSplits uint64 // batches injected per-packet (oversize or starved reservation)
 	BulkSends   uint64 // bulk transfers initiated
 	BulkRecvs   uint64 // bulk transfers completed (receive side)
 	BulkWords   uint64 // float64 words received in bulk segments
@@ -782,6 +840,7 @@ func (s *Stats) Add(other Stats) {
 	s.Polls += other.Polls
 	s.Batches += other.Batches
 	s.BatchedPkts += other.BatchedPkts
+	s.BatchSplits += other.BatchSplits
 	s.BulkSends += other.BulkSends
 	s.BulkRecvs += other.BulkRecvs
 	s.BulkWords += other.BulkWords

@@ -130,11 +130,13 @@ func TestSendNowBypassesStaging(t *testing.T) {
 	if dst.Pending() != 0 {
 		t.Fatal("word-encoded packets flushed below BatchMax")
 	}
+	//lint:ignore halvet-repairplane this test exercises the urgent path's flush-ahead semantics themselves
 	src.SendNow(Packet{Handler: hCount, Dst: 1, U0: 2})
 	if got := dst.Pending(); got != 3 {
 		t.Fatalf("Pending() = %d after SendNow, want 3 (staged flushed + urgent injected)", got)
 	}
 	// With nothing staged, SendNow is a plain immediate send.
+	//lint:ignore halvet-repairplane this test exercises the urgent path's flush-ahead semantics themselves
 	src.SendNow(Packet{Handler: hCount, Dst: 1, U0: 3})
 	if got := dst.Pending(); got != 4 {
 		t.Fatalf("Pending() = %d after bare SendNow, want 4", got)

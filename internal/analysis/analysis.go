@@ -1,0 +1,248 @@
+// Package analysis is `halvet`: a static-analysis suite that mechanically
+// enforces the runtime invariants the rest of this repository states only
+// in prose — handlers never block (amnet package comment), pooled values
+// are consumer-freed exactly once (core/wire.go), the location-repair
+// plane is always urgent (core/reliable.go sendCtlNow), and an Endpoint's
+// receive side belongs to one goroutine (amnet.Endpoint doc).
+//
+// The framework below is a deliberately small, dependency-free mirror of
+// golang.org/x/tools/go/analysis: the same Analyzer/Pass/Diagnostic shape,
+// per-package runs, and serialized cross-package facts.  It exists because
+// this module builds hermetically (no module downloads); if x/tools ever
+// becomes available the analyzers port mechanically.
+//
+// Two annotation mechanisms, both requiring a justification:
+//
+//	//lint:ignore halvet-<analyzer> <reason>
+//	    on the flagged line (or the line above) suppresses one diagnostic
+//	    from that analyzer; `halvet` alone suppresses all four.
+//
+//	//halvet:allowblock <reason>
+//	    on a function declaration (or immediately above a statement) marks
+//	    a blocking operation as sanctioned, stopping handlernoblock's
+//	    reachability propagation through it.  Reserved for patterns whose
+//	    progress argument lives outside the type system, like the CMAM
+//	    poll-while-stalled discipline in amnet.reserveOrStall.
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check.  Run inspects a single package through its
+// Pass and reports diagnostics; cross-package state travels only through
+// facts (see Pass.ExportFacts / Pass.ImportFacts).
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// Diagnostic is one finding, positioned in the analyzed package.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// PackageFacts is the serialized cross-package state of one package:
+// analyzer name -> that analyzer's opaque fact blob.  It is the payload
+// of the vetx files exchanged with `go vet -vettool`.
+type PackageFacts map[string]json.RawMessage
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// FactsOnly is set when the driver needs only this package's exported
+	// facts (go vet's VetxOnly mode for dependencies): Report calls are
+	// dropped.  Analyzers may skip diagnostic-only work when it is set.
+	FactsOnly bool
+
+	// depFacts returns the named dependency package's fact blob for this
+	// analyzer, nil if the dependency exported none.
+	depFacts func(pkgPath, analyzer string) json.RawMessage
+
+	diags []Diagnostic
+	facts json.RawMessage
+}
+
+// Report records one diagnostic (dropped in FactsOnly mode).
+func (p *Pass) Report(pos token.Pos, format string, args ...any) {
+	if p.FactsOnly {
+		return
+	}
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ExportFacts serializes v as this package's fact blob for the running
+// analyzer.  At most one blob per (package, analyzer).
+func (p *Pass) ExportFacts(v any) error {
+	blob, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("%s: exporting facts for %s: %v", p.Analyzer.Name, p.Pkg.Path(), err)
+	}
+	p.facts = blob
+	return nil
+}
+
+// ImportFacts unmarshals the fact blob the running analyzer exported when
+// it analyzed pkgPath, reporting whether one existed.
+func (p *Pass) ImportFacts(pkgPath string, into any) bool {
+	if p.depFacts == nil {
+		return false
+	}
+	blob := p.depFacts(pkgPath, p.Analyzer.Name)
+	if blob == nil {
+		return false
+	}
+	return json.Unmarshal(blob, into) == nil
+}
+
+// runOne executes a single analyzer over a loaded package and returns its
+// diagnostics (suppressions already applied) and exported facts.
+func runOne(az *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package,
+	info *types.Info, factsOnly bool, depFacts func(pkgPath, analyzer string) json.RawMessage,
+) ([]Diagnostic, json.RawMessage, error) {
+	pass := &Pass{
+		Analyzer:  az,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+		FactsOnly: factsOnly,
+		depFacts:  depFacts,
+	}
+	if err := az.Run(pass); err != nil {
+		return nil, nil, fmt.Errorf("%s: %s: %v", az.Name, pkg.Path(), err)
+	}
+	diags := filterSuppressed(fset, files, pass.diags)
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	return diags, pass.facts, nil
+}
+
+// --- suppression ---------------------------------------------------------
+
+// filterSuppressed drops diagnostics whose line (or the line above) carries
+// a matching //lint:ignore directive.
+func filterSuppressed(fset *token.FileSet, files []*ast.File, diags []Diagnostic) []Diagnostic {
+	if len(diags) == 0 {
+		return diags
+	}
+	// file name -> set of (line, suppressed analyzer or "" for all).
+	type key struct {
+		line int
+		name string
+	}
+	sup := map[string]map[key]bool{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				name, ok := parseIgnore(c.Text)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				m := sup[pos.Filename]
+				if m == nil {
+					m = map[key]bool{}
+					sup[pos.Filename] = m
+				}
+				// The directive covers its own line and the next one, so it
+				// works both as a trailing comment and on the line above.
+				m[key{pos.Line, name}] = true
+				m[key{pos.Line + 1, name}] = true
+			}
+		}
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		m := sup[pos.Filename]
+		if m != nil && (m[key{pos.Line, d.Analyzer}] || m[key{pos.Line, ""}]) {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}
+
+// parseIgnore recognizes `//lint:ignore halvet-<name> reason` (and bare
+// `halvet`, which matches every analyzer).  A directive without a reason
+// is not honored: unexplained suppressions are exactly the convention rot
+// this suite exists to prevent.
+func parseIgnore(text string) (analyzer string, ok bool) {
+	rest, found := strings.CutPrefix(text, "//lint:ignore ")
+	if !found {
+		return "", false
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 2 { // checker name plus at least one word of reason
+		return "", false
+	}
+	switch {
+	case fields[0] == "halvet":
+		return "", true
+	case strings.HasPrefix(fields[0], "halvet-"):
+		return strings.TrimPrefix(fields[0], "halvet-"), true
+	}
+	return "", false
+}
+
+// shortPos renders a position as "file.go:line" for diagnostic chains.
+func shortPos(fset *token.FileSet, pos token.Pos) string {
+	p := fset.Position(pos)
+	name := p.Filename
+	if i := strings.LastIndexByte(name, '/'); i >= 0 {
+		name = name[i+1:]
+	}
+	return fmt.Sprintf("%s:%d", name, p.Line)
+}
+
+// hasAllowBlock reports whether a //halvet:allowblock directive with a
+// justification is attached to the given line (same line or the line
+// above) in the file's comments.
+func hasAllowBlock(fset *token.FileSet, file *ast.File, line int) bool {
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			rest, found := strings.CutPrefix(c.Text, "//halvet:allowblock")
+			if !found || len(strings.Fields(rest)) == 0 {
+				continue
+			}
+			l := fset.Position(c.Pos()).Line
+			if l == line || l == line-1 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// funcHasAllowBlock reports whether the function declaration carries a
+// //halvet:allowblock directive in its doc comment.
+func funcHasAllowBlock(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if rest, found := strings.CutPrefix(c.Text, "//halvet:allowblock"); found &&
+			len(strings.Fields(rest)) > 0 {
+			return true
+		}
+	}
+	return false
+}

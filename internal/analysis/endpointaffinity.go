@@ -1,0 +1,176 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// EndpointAffinity enforces the amnet single-goroutine receive contract:
+// "Each PE is driven by exactly one goroutine — the node kernel loop —
+// which is the only goroutine allowed to touch that endpoint's receive
+// side" (internal/amnet/amnet.go).  The heuristic flags the pattern the
+// contract most often dies by: an *amnet.Endpoint captured by a `go`
+// function literal while the spawning goroutine keeps using it — two
+// goroutines now call methods on one endpoint.
+//
+// Explicitly safe (whitelisted) methods may be called from any goroutine:
+// Pending (atomic counter, documented cross-goroutine), ID, Net, and
+// Stats-after-stop is the caller's responsibility and not flagged here.
+// The setup-then-handoff idiom stays legal: only method calls made by the
+// spawner AFTER the go statement count as concurrent use.
+var EndpointAffinity = &Analyzer{
+	Name: "endpointaffinity",
+	Doc:  "flag amnet.Endpoint methods called from two goroutines (capture by a go literal plus spawner use)",
+	Run:  runEndpointAffinity,
+}
+
+// eaSafeMethods may be called from any goroutine.
+var eaSafeMethods = map[string]bool{
+	"Pending": true,
+	"ID":      true,
+	"Net":     true,
+	"Stats":   true,
+}
+
+func runEndpointAffinity(pass *Pass) error {
+	if pass.FactsOnly {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch x := n.(type) {
+			case *ast.FuncDecl:
+				body = x.Body
+			case *ast.FuncLit:
+				body = x.Body
+			default:
+				return true
+			}
+			if body != nil {
+				checkAffinity(pass, body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// eaCall is one unsafe Endpoint method call on a tracked variable.
+type eaCall struct {
+	sel *ast.SelectorExpr
+	obj types.Object
+}
+
+// checkAffinity inspects one function body.  For every `go func(){...}()`
+// statement it collects unsafe Endpoint method calls on variables captured
+// from the enclosing scope, then looks for unsafe calls on the same
+// variable made by the spawner after the go statement.
+type eaGoLit struct {
+	stmt *ast.GoStmt
+	lit  *ast.FuncLit
+}
+
+func checkAffinity(pass *Pass, body *ast.BlockStmt) {
+	var goLits []eaGoLit
+	ast.Inspect(body, func(n ast.Node) bool {
+		if g, ok := n.(*ast.GoStmt); ok {
+			if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+				goLits = append(goLits, eaGoLit{g, lit})
+			}
+		}
+		return true
+	})
+	if len(goLits) == 0 {
+		return
+	}
+
+	for _, gl := range goLits {
+		captured := endpointCallsIn(pass, gl.lit.Body, func(obj types.Object) bool {
+			// Captured: declared outside the literal.
+			return obj.Pos() < gl.lit.Pos() || obj.Pos() > gl.lit.End()
+		})
+		if len(captured) == 0 {
+			continue
+		}
+		// Spawner-side unsafe calls after the go statement, outside ANY go
+		// literal (each literal is judged as its own goroutine).
+		after := endpointCallsIn(pass, body, nil)
+		for _, in := range captured {
+			for _, out := range after {
+				if out.obj != in.obj || out.sel.Pos() <= gl.stmt.End() {
+					continue
+				}
+				if withinAnyGoLit(goLits, out.sel.Pos()) {
+					continue
+				}
+				pass.Report(in.sel.Sel.Pos(),
+					"endpoint %q is polled from this goroutine but the spawning goroutine also calls %s (at %s); an Endpoint's send and receive side belong to the one goroutine that drives it",
+					in.obj.Name(), out.sel.Sel.Name, shortPos(pass.Fset, out.sel.Sel.Pos()))
+				break
+			}
+		}
+	}
+}
+
+func withinAnyGoLit(goLits []eaGoLit, pos token.Pos) bool {
+	for _, gl := range goLits {
+		if pos >= gl.lit.Pos() && pos <= gl.lit.End() {
+			return true
+		}
+	}
+	return false
+}
+
+// endpointCallsIn collects method calls on *amnet.Endpoint variables in a
+// body, excluding whitelisted methods.  filter (optional) restricts which
+// variable objects count.
+func endpointCallsIn(pass *Pass, body ast.Node, filter func(types.Object) bool) []eaCall {
+	var out []eaCall
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := ast.Unparen(sel.X).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil || !isEndpointVar(obj) {
+			return true
+		}
+		if eaSafeMethods[sel.Sel.Name] {
+			return true
+		}
+		if filter != nil && !filter(obj) {
+			return true
+		}
+		out = append(out, eaCall{sel: sel, obj: obj})
+		return true
+	})
+	return out
+}
+
+// isEndpointVar reports whether obj is a variable of type *amnet.Endpoint
+// (or amnet.Endpoint).
+func isEndpointVar(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return false
+	}
+	t := v.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	return n.Obj().Name() == "Endpoint" && isAmnetPkg(n.Obj().Pkg())
+}

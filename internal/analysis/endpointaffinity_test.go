@@ -1,0 +1,9 @@
+package analysis
+
+import "testing"
+
+// The fixture pins the capture-plus-spawner-use positive and the two
+// sanctioned patterns: setup-then-handoff and whitelisted monitoring.
+func TestEndpointAffinityFixture(t *testing.T) {
+	runFixture(t, EndpointAffinity, "endpointaffinity")
+}

@@ -1,0 +1,10 @@
+package analysis
+
+import "testing"
+
+// The fixture's true positives include the historical use-after-freePath
+// bug class; its negatives pin the consumer-side free, the boxed-payload
+// fallback, and the generation-checked seq-token exemption.
+func TestPoolOwnerFixture(t *testing.T) {
+	runFixture(t, PoolOwner, "poolowner")
+}

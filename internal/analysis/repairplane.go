@@ -1,0 +1,224 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// RepairPlane enforces the traffic-class split PR 2 introduced and PR 2's
+// flake fix depends on: location-repair control packets (cache updates,
+// FIRs and their answers, migration acks, alias binds) must take the
+// urgent SendNow path — a repair that sits in a staging buffer until the
+// sender's next poll boundary lets routed traffic keep paying the
+// forwarding chain, and once lost a wall-clock race against the very
+// traffic it repairs (the 1/30 FIR-ablation flake).  Conversely, bulk and
+// data-plane traffic must not ride SendNow: the urgent path exists so
+// repairs can overtake exactly that traffic.
+//
+// The analyzer keys off the handler-id constant names (hCacheUpdate, hFIR,
+// hFIRFound, hMigrateAck, hAliasBind — the "h" prefix is optional and
+// matching is case-insensitive), so a new call site cannot silently
+// regress the fix: it resolves the Handler field of Packet literals passed
+// to Send/SendBatched/SendNow on amnet.Endpoint, and to the kernel's
+// sendCtl/sendCtlNow wrappers, following single-assignment local packet
+// variables.  Dynamically chosen handlers are outside the analysis.
+var RepairPlane = &Analyzer{
+	Name: "repairplane",
+	Doc:  "flag location-repair packets sent through the batched path (and bulk traffic sent urgent)",
+	Run:  runRepairPlane,
+}
+
+// repairPlaneIDs are the location-repair handler-id constant names, lower-
+// cased and stripped of the conventional "h" prefix.
+var repairPlaneIDs = map[string]bool{
+	"cacheupdate": true,
+	"fir":         true,
+	"firfound":    true,
+	"migrateack":  true,
+	"aliasbind":   true,
+}
+
+// rpSendClass classifies the send entry points the analyzer watches:
+// true = urgent (repair plane), false = batched/staged.
+var rpSendClass = map[string]bool{
+	"SendNow":     true,
+	"sendCtlNow":  true,
+	"SendBatched": false,
+	"sendCtl":     false,
+}
+
+func runRepairPlane(pass *Pass) error {
+	if pass.FactsOnly {
+		return nil
+	}
+	for _, file := range pass.Files {
+		// Map each single-assignment local packet variable to its literal,
+		// so `pkt := amnet.Packet{...}; ep.SendBatched(pkt)` resolves.
+		packetVars := singleAssignPackets(pass, file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name, _ := calleeNameRecv(pass.TypesInfo, call)
+			urgent, watched := rpSendClass[name]
+			if !watched || len(call.Args) == 0 {
+				return true
+			}
+			// sendCtl/sendCtlNow take the packet first; Endpoint methods
+			// take it as the only argument.
+			lit := packetLiteral(pass, packetVars, call.Args[0])
+			if lit == nil {
+				return true
+			}
+			constName, ok := handlerConstName(pass, lit)
+			if !ok {
+				return true
+			}
+			isRepair := repairPlaneIDs[normalizeHandlerName(constName)]
+			switch {
+			case isRepair && !urgent:
+				pass.Report(call.Pos(),
+					"location-repair packet %s sent through the batched path %s; repairs must use SendNow/sendCtlNow (a staged repair loses the race against the traffic it repairs)",
+					constName, name)
+			case !isRepair && urgent:
+				pass.Report(call.Pos(),
+					"non-repair packet %s sent through the urgent path %s; bulk and data traffic must use Send/SendBatched so repairs can overtake it",
+					constName, name)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// normalizeHandlerName lower-cases a handler-id constant name and strips
+// the conventional single-letter "h" prefix (hCacheUpdate -> cacheupdate).
+func normalizeHandlerName(name string) string {
+	if len(name) > 1 && name[0] == 'h' && name[1] >= 'A' && name[1] <= 'Z' {
+		name = name[1:]
+	}
+	return strings.ToLower(name)
+}
+
+// singleAssignPackets collects local variables assigned exactly once in
+// the file, from an amnet.Packet composite literal.
+func singleAssignPackets(pass *Pass, file *ast.File) map[types.Object]*ast.CompositeLit {
+	lits := map[types.Object]*ast.CompositeLit{}
+	assigns := map[types.Object]int{}
+	ast.Inspect(file, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			obj := pass.TypesInfo.Defs[id]
+			if obj == nil {
+				obj = pass.TypesInfo.Uses[id]
+			}
+			if obj == nil {
+				continue
+			}
+			assigns[obj]++
+			if i < len(as.Rhs) {
+				if lit, ok := ast.Unparen(as.Rhs[i]).(*ast.CompositeLit); ok && isPacketType(pass, lit) {
+					lits[obj] = lit
+				}
+			}
+		}
+		return true
+	})
+	for obj := range lits {
+		if assigns[obj] != 1 {
+			delete(lits, obj)
+		}
+	}
+	return lits
+}
+
+// packetLiteral resolves arg to an amnet.Packet composite literal, either
+// written in place or through a single-assignment local variable.
+func packetLiteral(pass *Pass, packetVars map[types.Object]*ast.CompositeLit, arg ast.Expr) *ast.CompositeLit {
+	switch x := ast.Unparen(arg).(type) {
+	case *ast.CompositeLit:
+		if isPacketType(pass, x) {
+			return x
+		}
+	case *ast.Ident:
+		if obj := pass.TypesInfo.Uses[x]; obj != nil {
+			return packetVars[obj]
+		}
+	case *ast.CallExpr:
+		// Encoding helpers like locPacket(h, ...) pass the handler id as
+		// their first argument; resolve when it is a constant.
+		name, _ := calleeNameRecv(pass.TypesInfo, x)
+		if strings.HasSuffix(name, "Packet") && len(x.Args) > 0 {
+			if _, ok := constHandlerOf(pass, x.Args[0]); ok {
+				// Synthesize a literal-equivalent: reuse the handler expr by
+				// wrapping it in a fake composite.  Simpler: handled in
+				// handlerConstName via the rpHelperCall marker below.
+				return &ast.CompositeLit{Elts: []ast.Expr{&ast.KeyValueExpr{
+					Key:   &ast.Ident{Name: "Handler", NamePos: x.Pos()},
+					Value: x.Args[0],
+				}}}
+			}
+		}
+	}
+	return nil
+}
+
+// isPacketType reports whether a composite literal has type amnet.Packet.
+func isPacketType(pass *Pass, lit *ast.CompositeLit) bool {
+	tv, ok := pass.TypesInfo.Types[lit]
+	if !ok {
+		return false
+	}
+	n, ok := tv.Type.(*types.Named)
+	if !ok {
+		return false
+	}
+	return n.Obj().Name() == "Packet" && isAmnetPkg(n.Obj().Pkg())
+}
+
+// handlerConstName extracts the Handler field's constant name from a
+// packet literal, if it is a named constant.
+func handlerConstName(pass *Pass, lit *ast.CompositeLit) (string, bool) {
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		if key, ok := kv.Key.(*ast.Ident); !ok || key.Name != "Handler" {
+			continue
+		}
+		return constHandlerOf(pass, kv.Value)
+	}
+	return "", false
+}
+
+// constHandlerOf resolves an expression to a named constant's name.
+func constHandlerOf(pass *Pass, e ast.Expr) (string, bool) {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if c, ok := resolveConst(pass, x); ok {
+			return c, true
+		}
+	case *ast.SelectorExpr:
+		if c, ok := resolveConst(pass, x.Sel); ok {
+			return c, true
+		}
+	}
+	return "", false
+}
+
+func resolveConst(pass *Pass, id *ast.Ident) (string, bool) {
+	if obj, ok := pass.TypesInfo.Uses[id].(*types.Const); ok {
+		return obj.Name(), true
+	}
+	return "", false
+}

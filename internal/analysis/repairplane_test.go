@@ -1,0 +1,9 @@
+package analysis
+
+import "testing"
+
+// The fixture pins both directions of the traffic-class split: repairs
+// staged behind the batch window and bulk traffic on the urgent path.
+func TestRepairPlaneFixture(t *testing.T) {
+	runFixture(t, RepairPlane, "repairplane")
+}

@@ -1,0 +1,36 @@
+// Package fixture exercises halvet-endpointaffinity: exactly one goroutine
+// drives an endpoint.
+package fixture
+
+import "hal/internal/amnet"
+
+const hTick amnet.HandlerID = 3
+
+// True positive: the spawner hands the endpoint to a poller goroutine and
+// keeps sending on it — two goroutines now share one endpoint.
+func splitBrain(ep *amnet.Endpoint, stop chan struct{}) {
+	go func() {
+		for ep.RecvBlock(stop, 0) { // want `endpoint "ep" is polled from this goroutine but the spawning goroutine also calls Send`
+		}
+	}()
+	ep.Send(amnet.Packet{Handler: hTick, Dst: 0})
+}
+
+// Negative: setup-then-handoff — every spawner-side call precedes the go
+// statement, so ownership moves cleanly to the poller.
+func handoff(ep *amnet.Endpoint, stop chan struct{}) {
+	ep.Send(amnet.Packet{Handler: hTick, Dst: 0})
+	go func() {
+		for ep.RecvBlock(stop, 0) {
+		}
+	}()
+}
+
+// Negative: whitelisted monitoring — Pending is an atomic counter and is
+// documented cross-goroutine safe.
+func monitor(ep *amnet.Endpoint) int {
+	go func() {
+		ep.PollAll()
+	}()
+	return ep.Pending()
+}

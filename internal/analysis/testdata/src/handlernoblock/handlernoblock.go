@@ -1,0 +1,83 @@
+// Package fixture exercises halvet-handlernoblock: blocking operations
+// reachable from expressions registered as amnet handlers.
+package fixture
+
+import (
+	"sync"
+	"time"
+
+	"hal/internal/amnet"
+)
+
+const (
+	hEcho amnet.HandlerID = 1 + iota
+	hFlushy
+	hSleepy
+	hChain
+	hPoll
+	hUrgent
+	hDone
+)
+
+// install mirrors the kernel's reg wrapper: any argument in a parameter
+// position typed amnet.Handler roots the reachability scan.
+func install(id amnet.HandlerID, h amnet.Handler) { _ = id; _ = h }
+
+var (
+	mu     sync.Mutex
+	wake   = make(chan struct{}, 1)
+	events []uint64
+)
+
+// True positive, the PR 2 stranded-staging bug class: a handler that
+// re-enters the flush pass mid-flush corrupts the staging buffers.
+func registerFlushy() {
+	install(hFlushy, func(ep *amnet.Endpoint, p amnet.Packet) { // want `amnet handler must never block: Endpoint\.Flush from handler context re-enters the flush pass`
+		ep.Flush()
+	})
+}
+
+// True positive: blocking reached through a named-function call chain.
+func registerChain() {
+	install(hChain, onChain) // want `amnet handler must never block: calls logBlocking .* sync\.Mutex\.Lock may block`
+}
+
+func onChain(ep *amnet.Endpoint, p amnet.Packet) { logBlocking(p.U0) }
+
+func logBlocking(v uint64) {
+	mu.Lock()
+	events = append(events, v)
+	mu.Unlock()
+}
+
+// Handler-table composite literals root the scan too.
+var table = map[amnet.HandlerID]amnet.Handler{
+	// True positive: sleeping parks the PE.
+	hSleepy: func(ep *amnet.Endpoint, p amnet.Packet) { // want `time\.Sleep parks the PE goroutine`
+		time.Sleep(time.Millisecond)
+	},
+	// Negative: a select with a default clause is a non-blocking poll.
+	hPoll: func(ep *amnet.Endpoint, p amnet.Packet) {
+		select {
+		case wake <- struct{}{}:
+		default:
+		}
+	},
+}
+
+// Negative: handlers may send — SendNow and TrySend never park the PE
+// (capacity is reserved, or the send is refused).
+func registerUrgent() {
+	install(hUrgent, func(ep *amnet.Endpoint, p amnet.Packet) {
+		ep.SendNow(amnet.Packet{Handler: hEcho, Dst: p.Src, U0: p.U0})
+		ep.TrySend(amnet.Packet{Handler: hEcho, Dst: p.Src})
+	})
+}
+
+// Negative: a sanctioned block, annotated with its progress argument.
+func registerDone(done chan struct{}) {
+	install(hDone, func(ep *amnet.Endpoint, p amnet.Packet) {
+		//halvet:allowblock fixture: done is buffered and drained by the caller
+		done <- struct{}{}
+	})
+}

@@ -1,0 +1,95 @@
+// Package fixture exercises halvet-poolowner: the consumer-frees
+// ownership discipline of pooled control-plane values.
+package fixture
+
+import (
+	"hal/internal/amnet"
+	"hal/internal/names"
+)
+
+type path struct {
+	hops []uint8
+	vt   float64
+}
+
+var pathPool []*path
+
+func newPath() *path   { return &path{} }
+func freePath(p *path) { pathPool = append(pathPool, p) }
+
+const hFIR amnet.HandlerID = 1
+
+// True positive, the use-after-freePath bug class: reading a path after
+// returning it to the pool races the next allocation's reuse.
+func useAfterFree() float64 {
+	p := newPath()
+	p.hops = append(p.hops, 3)
+	freePath(p)
+	return p.vt // want `pooled FIR path "p" used after free`
+}
+
+// True positive: a double free hands the same record to two future
+// allocations.
+func doubleFree() {
+	p := newPath()
+	freePath(p)
+	freePath(p) // want `pooled FIR path "p" freed twice`
+}
+
+// True positive: once the value rides a packet the consumer owns it.
+func useAfterSend(ep *amnet.Endpoint, dst amnet.NodeID) {
+	p := newPath()
+	ep.SendNow(amnet.Packet{Handler: hFIR, Dst: dst, Payload: p})
+	p.vt = 9 // want `pooled FIR path "p" used after ownership transfer`
+}
+
+// True positive: the producer must not also free after handing off.
+func freeAfterSend(ep *amnet.Endpoint, dst amnet.NodeID) {
+	p := newPath()
+	ep.SendNow(amnet.Packet{Handler: hFIR, Dst: dst, Payload: p})
+	freePath(p) // want `freed after its ownership transferred`
+}
+
+// Negative: consumer-side free — the receiving handler unboxes the payload
+// it now owns and frees it exactly once.
+func consumerFrees(p amnet.Packet) float64 {
+	req := p.Payload.(*path)
+	vt := req.vt
+	freePath(req)
+	return vt
+}
+
+// Negative: the packet literal may read fields of the value it transfers —
+// ownership moves when the send returns, not mid-expression.
+func sendReadsFields(ep *amnet.Endpoint, dst amnet.NodeID) {
+	p := newPath()
+	p.vt = 4
+	ep.SendNow(amnet.Packet{Handler: hFIR, Dst: dst, VT: p.vt, Payload: p})
+}
+
+// Negative: the boxed-payload fallback — storing into a non-Packet
+// composite hands ownership to the box, and tracking stops.
+type box struct{ p *path }
+
+func boxed() *box {
+	p := newPath()
+	b := &box{p: p}
+	p.vt = 1
+	return b
+}
+
+// Negative: a freed seq handle is a generation-checked token; Get on a
+// stale seq is the documented recovery path, not a use-after-free.
+func staleSeqOK(a *names.Arena) bool {
+	seq, ld := a.Alloc()
+	ld.State = names.LDLocal
+	a.Free(seq)
+	return a.Get(seq) == nil
+}
+
+// True positive: the descriptor pointer itself IS dead after free.
+func staleDescriptor(a *names.Arena) names.LDState {
+	seq, ld := a.Alloc()
+	a.Free(seq)
+	return ld.State // want `pooled descriptor "ld" used after free`
+}

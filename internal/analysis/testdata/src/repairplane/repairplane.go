@@ -1,0 +1,44 @@
+// Package fixture exercises halvet-repairplane: the urgent/batched
+// traffic-class split for location-repair control packets.
+package fixture
+
+import "hal/internal/amnet"
+
+const (
+	hDeliver amnet.HandlerID = 1 + iota
+	hCacheUpdate
+	hFIR
+	hMigrateAck
+	hAliasBind
+)
+
+// True positive: a repair staged behind the batch window loses the
+// wall-clock race against the very traffic it repairs.
+func repairBatched(ep *amnet.Endpoint, dst amnet.NodeID) {
+	ep.SendBatched(amnet.Packet{Handler: hCacheUpdate, Dst: dst}) // want `location-repair packet hCacheUpdate sent through the batched path SendBatched`
+}
+
+// True positive: resolved through a single-assignment local variable.
+func repairBatchedVar(ep *amnet.Endpoint, dst amnet.NodeID) {
+	pkt := amnet.Packet{Handler: hFIR, Dst: dst}
+	ep.SendBatched(pkt) // want `location-repair packet hFIR sent through the batched path`
+}
+
+// True positive: bulk traffic on the urgent path starves the repairs the
+// path exists for.
+func bulkUrgent(ep *amnet.Endpoint, dst amnet.NodeID) {
+	ep.SendNow(amnet.Packet{Handler: hDeliver, Dst: dst}) // want `non-repair packet hDeliver sent through the urgent path SendNow`
+}
+
+// Negative: the correct split — repairs urgent, bulk batched or plain.
+func correctSplit(ep *amnet.Endpoint, dst amnet.NodeID) {
+	ep.SendNow(amnet.Packet{Handler: hMigrateAck, Dst: dst})
+	ep.SendNow(amnet.Packet{Handler: hAliasBind, Dst: dst})
+	ep.SendBatched(amnet.Packet{Handler: hDeliver, Dst: dst})
+	ep.Send(amnet.Packet{Handler: hDeliver, Dst: dst})
+}
+
+// Negative: dynamically chosen handler ids are outside the analysis.
+func dynamic(ep *amnet.Endpoint, dst amnet.NodeID, h amnet.HandlerID) {
+	ep.SendBatched(amnet.Packet{Handler: h, Dst: dst})
+}
