@@ -579,7 +579,12 @@ func (ep *Endpoint) reserveBounded(dst *Endpoint, k int64, rounds int) bool {
 	}
 	ep.stats.SendStalls++
 	dst.waiters.Add(1)
-	ok := false
+	// Re-test before the first wait: release only signals spaceWake when a
+	// waiter is registered, so a release landing between the failed reserve
+	// above and the waiters.Add(1) would otherwise be lost and this sender
+	// could park forever.  reserveOrStall closes the same window via its
+	// loop condition.
+	ok := dst.reserve(k)
 	for i := 0; !ok && i < rounds; i++ {
 		if ep.depth >= maxPollDepth {
 			// Too deep to drain reentrantly; wait for a release outright
