@@ -1,7 +1,13 @@
 GO ?= go
 HALVET := $(CURDIR)/bin/halvet
 
-.PHONY: all build test lint tables clean
+# Statement-coverage floor over ./internal/... (cover-check, mirrored by
+# the CI coverage job).  Measured 84.6% when introduced; the margin
+# absorbs run-to-run variance from the randomized chaos workloads.
+# Raise it as coverage grows — never lower it to make a red build green.
+COVER_FLOOR := 82.0
+
+.PHONY: all build test test-race lint tables cover cover-check ci clean
 
 all: build lint test
 
@@ -10,6 +16,9 @@ build:
 
 test:
 	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
 
 # The project's own analyzer suite via the standard vettool protocol —
 # the same invocation the lint CI job runs.
@@ -24,5 +33,25 @@ FORCE:
 tables:
 	$(GO) run ./cmd/haltables
 
+cover:
+	$(GO) test -coverprofile=cover.out ./internal/...
+	$(GO) tool cover -func=cover.out | tail -1
+
+cover-check: cover
+	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	echo "coverage: $$total% (floor $(COVER_FLOOR)%)"; \
+	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit (t+0 >= f+0) ? 0 : 1 }' || \
+	  { echo "coverage $$total% fell below the $(COVER_FLOOR)% floor"; exit 1; }
+
+# Everything the per-push CI workflow gates on, runnable locally before
+# pushing: vet, build, race tests, the halvet suite, the coverage floor,
+# the allocation guards, and the benchmark trajectory against the pinned
+# baseline (written to a scratch path — the committed BENCH_hal.json is
+# never mutated).
+ci: build lint test-race cover-check
+	$(GO) vet ./...
+	$(GO) test ./internal/core -run 'TestAlloc' -count=2
+	$(GO) run ./cmd/haltables -bench-json BENCH_hal.json -bench-out /tmp/BENCH_ci.json -bench-label local-ci
+
 clean:
-	rm -rf bin
+	rm -rf bin cover.out

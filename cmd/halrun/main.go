@@ -13,7 +13,9 @@
 // Every subcommand also accepts -faults and -fault-seed to run the
 // workload over a lossy network with the kernel's recovery protocols on
 // (see faults.go); the run then reports a recovery summary and fails if
-// the retry budget was exhausted.
+// the retry budget was exhausted.  The observability flags -trace-out,
+// -flight-out, and -debug-addr (see observe.go) stream a Chrome trace,
+// arm the stall flight recorder, and serve live statistics over HTTP.
 package main
 
 import (
@@ -69,6 +71,7 @@ func runFib(args []string) error {
 	grain := fs.Float64("grain", 1, "per-call compute in µs")
 	stats := fs.Bool("stats", false, "print runtime statistics")
 	applyFaults := faultFlags(fs)
+	applyObs, finishObs := obsFlags(fs)
 	_ = fs.Parse(args)
 
 	var p fib.Placement
@@ -88,7 +91,11 @@ func runFib(args []string) error {
 	if err != nil {
 		return err
 	}
+	if err := applyObs(&cfg); err != nil {
+		return err
+	}
 	res, err := fib.Run(cfg, fib.Config{N: *n, GrainUS: *grain, Place: p})
+	obsErr := finishObs()
 	if err != nil {
 		reportRecoveryOnError(faulty, res.Stats, res.Wall)
 		return err
@@ -97,6 +104,9 @@ func runFib(args []string) error {
 	fmt.Printf("nodes=%d lb=%v place=%s: virtual %v, wall %v\n", *nodes, *lb, p, res.Virtual, res.Wall)
 	if *stats {
 		fmt.Print(res.Stats)
+	}
+	if obsErr != nil {
+		return obsErr
 	}
 	if faulty {
 		return reportRecovery(res.Stats)
@@ -111,6 +121,7 @@ func runQuad(args []string) error {
 	place := fs.String("place", "dynamic", "refinement placement: dynamic, partitioned, random")
 	stats := fs.Bool("stats", false, "print runtime statistics")
 	applyFaults := faultFlags(fs)
+	applyObs, finishObs := obsFlags(fs)
 	_ = fs.Parse(args)
 
 	var p quad.Placement
@@ -131,7 +142,11 @@ func runQuad(args []string) error {
 	if err != nil {
 		return err
 	}
+	if err := applyObs(&cfg); err != nil {
+		return err
+	}
 	res, err := quad.Run(cfg, quad.Config{Eps: *eps, Place: p})
+	obsErr := finishObs()
 	if err != nil {
 		reportRecoveryOnError(faulty, res.Stats, res.Wall)
 		return err
@@ -140,6 +155,9 @@ func runQuad(args []string) error {
 	fmt.Printf("nodes=%d place=%s: virtual %v, wall %v\n", *nodes, p, res.Virtual, res.Wall)
 	if *stats {
 		fmt.Print(res.Stats)
+	}
+	if obsErr != nil {
+		return obsErr
 	}
 	if faulty {
 		return reportRecovery(res.Stats)
@@ -156,6 +174,7 @@ func runPagerank(args []string) error {
 	verify := fs.Bool("verify", false, "check ranks against the sequential reference")
 	stats := fs.Bool("stats", false, "print runtime statistics")
 	applyFaults := faultFlags(fs)
+	applyObs, finishObs := obsFlags(fs)
 	_ = fs.Parse(args)
 
 	cfg := hal.DefaultConfig(*nodes)
@@ -163,7 +182,11 @@ func runPagerank(args []string) error {
 	if err != nil {
 		return err
 	}
+	if err := applyObs(&cfg); err != nil {
+		return err
+	}
 	res, err := pagerank.Run(cfg, pagerank.Config{N: *n, AvgDeg: *deg, Iters: *iters}, *verify)
+	obsErr := finishObs()
 	if err != nil {
 		reportRecoveryOnError(faulty, res.Stats, res.Wall)
 		return err
@@ -183,6 +206,9 @@ func runPagerank(args []string) error {
 	if *stats {
 		fmt.Print(res.Stats)
 	}
+	if obsErr != nil {
+		return obsErr
+	}
 	if faulty {
 		return reportRecovery(res.Stats)
 	}
@@ -196,6 +222,7 @@ func runCannon(args []string) error {
 	verify := fs.Bool("verify", false, "check the product against the sequential reference")
 	stats := fs.Bool("stats", false, "print runtime statistics")
 	applyFaults := faultFlags(fs)
+	applyObs, finishObs := obsFlags(fs)
 	_ = fs.Parse(args)
 
 	cfg := hal.DefaultConfig(*grid * *grid)
@@ -203,7 +230,11 @@ func runCannon(args []string) error {
 	if err != nil {
 		return err
 	}
+	if err := applyObs(&cfg); err != nil {
+		return err
+	}
 	res, err := cannon.Run(cfg, cannon.Config{N: *n, P: *grid}, *verify)
+	obsErr := finishObs()
 	if err != nil {
 		reportRecoveryOnError(faulty, res.Stats, res.Wall)
 		return err
@@ -215,6 +246,9 @@ func runCannon(args []string) error {
 	}
 	if *stats {
 		fmt.Print(res.Stats)
+	}
+	if obsErr != nil {
+		return obsErr
 	}
 	if faulty {
 		return reportRecovery(res.Stats)
@@ -233,6 +267,7 @@ func runCholesky(args []string) error {
 	verify := fs.Bool("verify", false, "check L*Lt against the input")
 	stats := fs.Bool("stats", false, "print runtime statistics")
 	applyFaults := faultFlags(fs)
+	applyObs, finishObs := obsFlags(fs)
 	_ = fs.Parse(args)
 
 	var sync cholesky.Sync
@@ -270,7 +305,11 @@ func runCholesky(args []string) error {
 	if err != nil {
 		return err
 	}
+	if err := applyObs(&cfg); err != nil {
+		return err
+	}
 	res, err := cholesky.Run(cfg, cholesky.Config{N: *n, B: *b, Sync: sync, Mapping: mapping}, *verify)
+	obsErr := finishObs()
 	if err != nil {
 		reportRecoveryOnError(faulty, res.Stats, res.Wall)
 		return err
@@ -282,6 +321,9 @@ func runCholesky(args []string) error {
 	}
 	if *stats {
 		fmt.Print(res.Stats)
+	}
+	if obsErr != nil {
+		return obsErr
 	}
 	if faulty {
 		return reportRecovery(res.Stats)

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+
+	"hal"
+)
+
+// Observability flags, shared by every subcommand:
+//
+//	-trace-out trace.json      stream kernel events to a Chrome trace-event
+//	                           JSON file (open in about:tracing or Perfetto)
+//	-flight-out flight.txt     if the run stalls, dump a flight record: the
+//	                           newest events per node plus a stats snapshot
+//	-flight-events 64          newest events per node in the flight record
+//	-trace-buf 4096            per-node trace ring size backing -flight-out
+//	-debug-addr 127.0.0.1:0    serve live StatsNow snapshots over HTTP
+//	                           (GET /debug/stats) for long chaos runs
+//
+// Streaming trace export does I/O on kernel paths; use it for debugging,
+// not for timing-sensitive measurements.
+
+// obsFlags registers the flags on fs and returns (apply, finish): apply
+// wires the selected observers into cfg before the run; finish closes the
+// trace stream after it (flushing the JSON array terminator).
+func obsFlags(fs *flag.FlagSet) (func(cfg *hal.Config) error, func() error) {
+	traceOut := fs.String("trace-out", "", "write a Chrome trace-event JSON file here")
+	traceBuf := fs.Int("trace-buf", 4096, "per-node trace ring size (events) backing -flight-out")
+	flightOut := fs.String("flight-out", "", "write a flight-recorder dump here if the run stalls")
+	flightEvents := fs.Int("flight-events", 64, "newest events per node in a flight record")
+	debugAddr := fs.String("debug-addr", "", "serve live stats on this HTTP address (GET /debug/stats)")
+
+	var traceFile *os.File
+	var tracer *hal.ChromeTraceWriter
+
+	apply := func(cfg *hal.Config) error {
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				return err
+			}
+			traceFile = f
+			tracer = hal.NewChromeTraceWriter(f)
+			cfg.TraceSink = tracer
+		}
+		if *flightOut != "" {
+			cfg.FlightPath = *flightOut
+			cfg.FlightEvents = *flightEvents
+			if cfg.TraceBuffer <= 0 {
+				cfg.TraceBuffer = *traceBuf
+			}
+		}
+		if *debugAddr != "" {
+			prev := cfg.OnMachine
+			addr := *debugAddr
+			cfg.OnMachine = func(m *hal.Machine) {
+				if prev != nil {
+					prev(m)
+				}
+				serveDebug(addr, m)
+			}
+		}
+		return nil
+	}
+	finish := func() error {
+		if tracer == nil {
+			return nil
+		}
+		err := tracer.Close()
+		if cerr := traceFile.Close(); err == nil {
+			err = cerr
+		}
+		tracer, traceFile = nil, nil
+		if err != nil {
+			return fmt.Errorf("-trace-out: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "halrun: trace written to %s\n", *traceOut)
+		return nil
+	}
+	return apply, finish
+}
+
+// serveDebug exposes live machine statistics over HTTP.  The server runs
+// for the life of the process; the bound address (useful with port 0) is
+// printed to stderr.
+func serveDebug(addr string, m *hal.Machine) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "halrun: -debug-addr:", err)
+		return
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/stats", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(m.StatsNow())
+	})
+	fmt.Fprintf(os.Stderr, "halrun: live stats on http://%s/debug/stats\n", ln.Addr())
+	go http.Serve(ln, mux)
+}

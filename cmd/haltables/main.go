@@ -5,16 +5,20 @@
 //
 //	haltables [-table all|1|2|3|4|5] [flags]
 //	haltables -bench-json BENCH_hal.json [-bench-label post]
+//	          [-bench-out out.json] [-bench-count 5]
 //
 // Scaling tables report virtual makespans under the Table 2-calibrated
 // cost model; microbenchmark tables also report host wall time.
 //
 // -bench-json switches to the benchmark-trajectory harness: it runs the
 // Table 2/3 microbenchmarks (ns/op, B/op, allocs/op) plus a small Table
-// 1/4/5 workload sweep (virtual makespan, packets per virtual ms),
-// appends the labeled entry to the JSON file next to the pinned
-// pre-optimization baseline, and exits non-zero if allocations per op
-// regressed against the baseline.
+// 1/4/5 workload sweep (virtual makespan, packets per virtual ms, and
+// the runtime's tail-latency histograms), appends the labeled entry to
+// the trajectory next to the pinned pre-optimization baseline, and exits
+// non-zero if allocations per op regressed against the baseline.
+// -bench-out writes the updated trajectory somewhere other than the
+// -bench-json input, so CI can gate against a committed baseline without
+// mutating it; -bench-count N keeps the best of N measurement runs.
 package main
 
 import (
@@ -33,12 +37,18 @@ func main() {
 	fibGrain := flag.Float64("fib-grain", 1, "table 4: per-call compute in µs")
 	matN := flag.Int("mat-n", 1024, "table 5: matrix dimension")
 	skip := flag.Bool("mat-skip-compute", false, "table 5: skip real arithmetic (timing only)")
-	benchJSON := flag.String("bench-json", "", "write/update a benchmark trajectory file and exit (skips the tables)")
+	benchJSON := flag.String("bench-json", "", "read/update a benchmark trajectory file and exit (skips the tables)")
 	benchLabel := flag.String("bench-label", "post", "trajectory entry label for -bench-json")
+	benchOut := flag.String("bench-out", "", "write the updated trajectory here instead of overwriting -bench-json")
+	benchCount := flag.Int("bench-count", 1, "measurement repetitions for -bench-json (best of N is recorded)")
 	flag.Parse()
 
 	if *benchJSON != "" {
-		if err := runTrajectory(*benchJSON, *benchLabel); err != nil {
+		out := *benchOut
+		if out == "" {
+			out = *benchJSON
+		}
+		if err := runTrajectory(*benchJSON, out, *benchLabel, *benchCount); err != nil {
 			fmt.Fprintln(os.Stderr, "haltables:", err)
 			os.Exit(1)
 		}
@@ -113,23 +123,33 @@ func main() {
 	}
 }
 
-// runTrajectory measures the current build, records it in path under
-// label alongside the pinned pre-optimization baseline, prints the
-// before/after table, and fails on allocation regressions.
-func runTrajectory(path, label string) error {
-	tr, err := bench.LoadTrajectory(path)
+// runTrajectory measures the current build count times (recording the
+// best), appends it under label to the trajectory read from inPath
+// alongside the pinned pre-optimization baseline, writes the result to
+// outPath, prints the before/after table with tail-latency columns, and
+// fails on allocation regressions.
+func runTrajectory(inPath, outPath, label string, count int) error {
+	tr, err := bench.LoadTrajectory(inPath)
 	if err != nil {
 		return err
 	}
 	base := bench.PreBaseline()
 	tr.Append(base)
 
-	entry, err := bench.Measure(label)
-	if err != nil {
-		return err
+	if count < 1 {
+		count = 1
 	}
+	runs := make([]bench.TrajectoryEntry, 0, count)
+	for i := 0; i < count; i++ {
+		e, err := bench.Measure(label)
+		if err != nil {
+			return err
+		}
+		runs = append(runs, e)
+	}
+	entry := bench.MergeBest(runs)
 	tr.Append(entry)
-	if err := tr.Write(path); err != nil {
+	if err := tr.Write(outPath); err != nil {
 		return err
 	}
 
@@ -138,8 +158,15 @@ func runTrajectory(path, label string) error {
 	for _, w := range entry.Workloads {
 		fmt.Printf("%-34s virtual %.2f ms, %d pkts (%.0f pkts/virt-ms), %d batches carrying %d pkts\n",
 			w.Name, w.VirtualMS, w.Packets, w.PktsPerVirtMS, w.Batches, w.BatchedPkts)
+		for _, l := range w.Latencies {
+			fmt.Printf("    %-24s n=%-8d mean=%-8.1f p50=%-8.1f p95=%-8.1f p99=%-8.1f max=%-8.1f (%s)\n",
+				l.Name, l.N, l.Mean, l.P50, l.P95, l.P99, l.Max, l.Unit)
+		}
 	}
-	fmt.Printf("trajectory written to %s (%d entries)\n", path, len(tr.Entries))
+	if count > 1 {
+		fmt.Printf("(best of %d measurement runs)\n", count)
+	}
+	fmt.Printf("trajectory written to %s (%d entries)\n", outPath, len(tr.Entries))
 	if len(regressions) > 0 {
 		for _, r := range regressions {
 			fmt.Fprintln(os.Stderr, "haltables: REGRESSION:", r)

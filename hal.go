@@ -33,6 +33,8 @@
 package hal
 
 import (
+	"io"
+
 	"hal/internal/amnet"
 	"hal/internal/core"
 )
@@ -83,6 +85,16 @@ type (
 	// control-plane protocols: sequencing, retry with backoff, and
 	// bounded escalation to dead letters.
 	FaultPlan = amnet.FaultPlan
+	// Event is one recorded kernel trace event (Config.TraceBuffer,
+	// Machine.Trace).
+	Event = core.Event
+	// EventKind classifies a trace event.
+	EventKind = core.EventKind
+	// TraceSink receives streamed kernel trace events (Config.TraceSink).
+	TraceSink = core.TraceSink
+	// ChromeTraceWriter streams trace events as Chrome trace-event JSON
+	// (about:tracing / Perfetto).
+	ChromeTraceWriter = core.ChromeTraceWriter
 )
 
 // Nil is the invalid mail address.
@@ -102,3 +114,11 @@ func DefaultConfig(nodes int) Config { return core.DefaultConfig(nodes) }
 
 // DefaultCostModel returns the paper-calibrated virtual-time cost model.
 func DefaultCostModel() CostModel { return core.DefaultCostModel() }
+
+// NewChromeTraceWriter starts a Chrome trace-event JSON array on w; use
+// the result as Config.TraceSink and Close it after the run.
+func NewChromeTraceWriter(w io.Writer) *ChromeTraceWriter { return core.NewChromeTraceWriter(w) }
+
+// WriteChromeTrace writes events (e.g. Machine.Trace after a run) to w as
+// a complete Chrome trace-event JSON document.
+func WriteChromeTrace(w io.Writer, events []Event) error { return core.WriteChromeTrace(w, events) }

@@ -38,6 +38,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"hal/internal/hist"
 )
 
 // NodeID identifies a simulated processing element.  IDs are dense,
@@ -520,6 +522,7 @@ func (ep *Endpoint) flushDst(dst NodeID) {
 			(*b.buf)[0] = Packet{}
 			*b.buf = (*b.buf)[:0]
 			b.firstVT = 0
+			ep.stats.FlushOcc.Observe(1)
 			ep.sendStamped(p)
 			continue
 		}
@@ -550,6 +553,7 @@ const batchReserveRounds = 128
 func (ep *Endpoint) injectBatch(dst NodeID, buf *[]Packet) {
 	k := len(*buf)
 	d := ep.net.eps[dst]
+	ep.stats.FlushOcc.Observe(float64(k))
 	if k <= ep.net.cfg.InboxCap && ep.reserveBounded(d, int64(k), batchReserveRounds) {
 		ep.stats.Sent += uint64(k)
 		ep.stats.Batches++
@@ -834,6 +838,11 @@ type Stats struct {
 	Delayed     uint64 // packets parked for out-of-order re-injection
 	Pauses      uint64 // pause windows entered
 	BulkRetries uint64 // bulk requests re-sent after a grant timeout
+
+	// Distribution metrics (internal/hist; owned by the endpoint's
+	// goroutine like every other field).
+	FlushOcc  hist.H // packets per staged-buffer flush (batches and singletons)
+	GrantWait hist.H // bulk request → grant wall latency, µs (three-phase transfers only)
 }
 
 // Add accumulates other into s.
@@ -855,4 +864,6 @@ func (s *Stats) Add(other Stats) {
 	s.Delayed += other.Delayed
 	s.Pauses += other.Pauses
 	s.BulkRetries += other.BulkRetries
+	s.FlushOcc.Merge(&other.FlushOcc)
+	s.GrantWait.Merge(&other.GrantWait)
 }

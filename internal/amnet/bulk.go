@@ -137,10 +137,9 @@ func (ep *Endpoint) BulkSend(dst NodeID, data []float64, fin Packet) {
 		return
 	}
 
-	x := &outXfer{id: id, dst: dst, data: data, fin: fin}
-	if ep.faults != nil {
-		x.reqAt = time.Now()
-	}
+	// reqAt doubles as the fault-recovery re-request clock and the start
+	// of the grant-wait latency measurement.
+	x := &outXfer{id: id, dst: dst, data: data, fin: fin, reqAt: time.Now()}
 	b.out = append(b.out, x)
 	ep.Send(Packet{Handler: HBulkReq, Dst: dst, U0: id, U1: uint64(len(data))})
 }
@@ -178,6 +177,12 @@ func registerBulkHandlers(nw *Network) {
 		b := &ep.bulk
 		for _, x := range b.out {
 			if x.id == p.U0 && x.dst == p.Src {
+				if !x.ready {
+					// Wait measured from the most recent (re-)request, so a
+					// fault-recovery retry does not inflate the figure with
+					// the lost request's timeout.
+					ep.stats.GrantWait.Observe(float64(time.Since(x.reqAt)) / 1e3)
+				}
 				x.ready = true
 				break
 			}

@@ -19,6 +19,7 @@ import (
 	"hal/internal/apps/cannon"
 	"hal/internal/apps/cholesky"
 	"hal/internal/apps/fib"
+	"hal/internal/hist"
 )
 
 // MicroPoint is one microbenchmark measurement (host wall time).
@@ -29,14 +30,40 @@ type MicroPoint struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 }
 
+// LatencyPoint summarizes one latency/occupancy distribution recorded by
+// the runtime's histograms during a workload run (schema v2).
+type LatencyPoint struct {
+	Name string  `json:"name"`
+	Unit string  `json:"unit"` // "us" (host wall clock) or "packets"
+	N    uint64  `json:"n"`
+	Mean float64 `json:"mean"`
+	P50  float64 `json:"p50"`
+	P95  float64 `json:"p95"`
+	P99  float64 `json:"p99"`
+	Max  float64 `json:"max"`
+}
+
+// latPoint renders a histogram, or false when it recorded nothing.
+func latPoint(name, unit string, h *hist.H) (LatencyPoint, bool) {
+	if h.N == 0 {
+		return LatencyPoint{}, false
+	}
+	return LatencyPoint{
+		Name: name, Unit: unit, N: h.N, Mean: h.Mean(),
+		P50: h.Quantile(0.50), P95: h.Quantile(0.95), P99: h.Quantile(0.99),
+		Max: h.Max,
+	}, true
+}
+
 // WorkloadPoint is one full-workload measurement (virtual time).
 type WorkloadPoint struct {
-	Name          string  `json:"name"`
-	VirtualMS     float64 `json:"virtual_ms"`
-	Packets       uint64  `json:"packets"`      // control packets injected
-	Batches       uint64  `json:"batches"`      // coalesced injections
-	BatchedPkts   uint64  `json:"batched_pkts"` // packets riding in batches
-	PktsPerVirtMS float64 `json:"pkts_per_virt_ms"`
+	Name          string         `json:"name"`
+	VirtualMS     float64        `json:"virtual_ms"`
+	Packets       uint64         `json:"packets"`      // control packets injected
+	Batches       uint64         `json:"batches"`      // coalesced injections
+	BatchedPkts   uint64         `json:"batched_pkts"` // packets riding in batches
+	PktsPerVirtMS float64        `json:"pkts_per_virt_ms"`
+	Latencies     []LatencyPoint `json:"latencies,omitempty"` // tail-latency columns (v2)
 }
 
 // TrajectoryEntry is one labeled measurement run.
@@ -56,7 +83,10 @@ type Trajectory struct {
 	Entries []TrajectoryEntry `json:"entries"`
 }
 
-const trajectorySchema = "hal-bench-trajectory/v1"
+// trajectorySchema is the document version.  v2 added per-workload
+// tail-latency columns (LatencyPoint); v1 documents load unchanged — the
+// new fields are simply absent from old entries.
+const trajectorySchema = "hal-bench-trajectory/v2"
 
 // PreBaseline returns the microbenchmark numbers measured at the commit
 // immediately before the zero-allocation control plane landed (boxed
@@ -225,6 +255,20 @@ func Measure(label string) (TrajectoryEntry, error) {
 		if vms > 0 {
 			p.PktsPerVirtMS = float64(p.Packets) / vms
 		}
+		t := &st.Total
+		for _, l := range []struct {
+			name, unit string
+			h          *hist.H
+		}{
+			{"fir_repair", "us", &t.FIRRepair},
+			{"steal_wait", "us", &t.StealWait},
+			{"bulk_grant_wait", "us", &t.Net.GrantWait},
+			{"flush_occupancy", "packets", &t.Net.FlushOcc},
+		} {
+			if lp, ok := latPoint(l.name, l.unit, l.h); ok {
+				p.Latencies = append(p.Latencies, lp)
+			}
+		}
 		e.Workloads = append(e.Workloads, p)
 	}
 
@@ -287,6 +331,45 @@ func (tr Trajectory) Write(path string) error {
 		return err
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// MergeBest combines repeated Measure runs of the same build into one
+// entry: per microbenchmark the minimum of each figure across runs (the
+// usual best-of-N treatment for host noise; allocation counts are
+// deterministic and identical across runs anyway), and per workload the
+// run with the smallest virtual makespan, its latency columns riding
+// along.  Metadata comes from the first run.
+func MergeBest(entries []TrajectoryEntry) TrajectoryEntry {
+	if len(entries) == 0 {
+		return TrajectoryEntry{}
+	}
+	out := entries[0]
+	for _, e := range entries[1:] {
+		for _, p := range e.Micro {
+			for i := range out.Micro {
+				if out.Micro[i].Name != p.Name {
+					continue
+				}
+				if p.NsPerOp < out.Micro[i].NsPerOp {
+					out.Micro[i].NsPerOp = p.NsPerOp
+				}
+				if p.BytesPerOp < out.Micro[i].BytesPerOp {
+					out.Micro[i].BytesPerOp = p.BytesPerOp
+				}
+				if p.AllocsPerOp < out.Micro[i].AllocsPerOp {
+					out.Micro[i].AllocsPerOp = p.AllocsPerOp
+				}
+			}
+		}
+		for _, w := range e.Workloads {
+			for i := range out.Workloads {
+				if out.Workloads[i].Name == w.Name && w.VirtualMS < out.Workloads[i].VirtualMS {
+					out.Workloads[i] = w
+				}
+			}
+		}
+	}
+	return out
 }
 
 // micro returns the named microbenchmark point, if present.

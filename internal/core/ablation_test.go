@@ -10,6 +10,7 @@ import (
 // waiting forever for a registration.
 func TestTombstoneDeadLetterRouted(t *testing.T) {
 	m := testMachine(t, Config{Nodes: 3})
+	dumpFlightOnFailure(t, m)
 	p := &probe{}
 	mortal := m.RegisterType("mortal", func(args []any) Behavior {
 		return &funcBehavior{f: func(ctx *Context, msg *Message) {
@@ -56,6 +57,7 @@ func TestTombstoneDeadLetterRouted(t *testing.T) {
 // "dead" answer and drops its held messages instead of stalling.
 func TestTombstoneAnswersFIR(t *testing.T) {
 	m := testMachine(t, Config{Nodes: 3})
+	dumpFlightOnFailure(t, m)
 	wanderer := m.RegisterType("wanderer", func(args []any) Behavior {
 		return &funcBehavior{f: func(ctx *Context, msg *Message) {
 			switch msg.Sel {
@@ -108,6 +110,7 @@ func TestTombstoneAnswersFIR(t *testing.T) {
 // the message onward rather than hold it.
 func TestNaiveForwardingDelivers(t *testing.T) {
 	m := testMachine(t, Config{Nodes: 5, NaiveForwarding: true})
+	dumpFlightOnFailure(t, m)
 	p := &probe{}
 	wanderer := m.RegisterType("wanderer", func(args []any) Behavior {
 		return &funcBehavior{f: func(ctx *Context, msg *Message) {

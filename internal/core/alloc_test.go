@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"hal/internal/amnet"
+	"hal/internal/names"
 )
 
 // Allocation guards for the zero-allocation control plane.  Each test
@@ -22,7 +23,14 @@ import (
 // completion runs a sync.Once closure, which allocates).
 func allocMachine(t *testing.T, nodes int) (*Machine, *Program) {
 	t.Helper()
-	m, err := NewMachine(Config{Nodes: nodes})
+	return allocMachineCfg(t, Config{Nodes: nodes})
+}
+
+// allocMachineCfg is allocMachine with an explicit config, for guards
+// that need tracing enabled.
+func allocMachineCfg(t *testing.T, cfg Config) (*Machine, *Program) {
+	t.Helper()
+	m, err := NewMachine(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,6 +157,80 @@ func TestAllocWordEncodedFIR(t *testing.T) {
 			t.Fatal("FIR answer not delivered")
 		}
 	})
+}
+
+// countSink counts streamed events without retaining them.  The alloc
+// guards drive kernels single-threaded, so no locking is needed here;
+// live sinks must satisfy the concurrent TraceSink contract.
+type countSink struct{ n int }
+
+func (s *countSink) TraceEvent(Event) { s.n++ }
+
+// TestAllocTracedLocalDelivery: ring tracing plus a streaming sink must
+// not push the pooled local delivery path off zero allocations — ring
+// appends reuse the pre-sized buffer and the sink call passes the event
+// by value.
+func TestAllocTracedLocalDelivery(t *testing.T) {
+	sink := &countSink{}
+	m, prog := allocMachineCfg(t, Config{Nodes: 1, TraceBuffer: 256, TraceSink: sink})
+	n := m.nodes[0]
+	rcv := &allocSink{}
+	a := n.createLocal(rcv)
+	a.prog = prog
+	ctx := &n.ctx
+	ctx.prog = prog
+	to := a.Addr()
+	requireZeroAllocs(t, "traced local Send+dispatch", func() {
+		ctx.Send(to, 1)
+		tk, ok := n.ready.Pop()
+		if !ok {
+			t.Fatal("send queued no dispatcher task")
+		}
+		n.execute(tk)
+	})
+	if rcv.calls == 0 {
+		t.Fatal("message never delivered")
+	}
+	if sink.n == 0 {
+		t.Fatal("sink saw no events")
+	}
+	if n.events.total == 0 {
+		t.Fatal("ring recorded no events")
+	}
+}
+
+// TestAllocTracedFIRRoundTrip: the instrumented FIR control path — an
+// EvFIRSent trace per request on the way out, the repair-latency
+// histogram observed inside the answer handler — must stay
+// allocation-free end to end.
+func TestAllocTracedFIRRoundTrip(t *testing.T) {
+	sink := &countSink{}
+	m, _ := allocMachineCfg(t, Config{Nodes: 2, TraceBuffer: 256, TraceSink: sink})
+	n0, n1 := m.nodes[0], m.nodes[1]
+	seq, ld := n0.arena.Alloc()
+	addr := Addr{Birth: 0, Hint: 0, Seq: seq}
+	requireZeroAllocs(t, "traced FIR round trip", func() {
+		// Re-arm the descriptor: the previous answer ("unknown") resolved
+		// it to NoNode, which suppresses further requests.
+		ld.State = names.LDRemote
+		ld.RNode, ld.RSeq = 1, 0
+		ld.FIRSent = false
+		n0.maybeSendFIR(ld, addr)
+		n0.ep.Flush()
+		if n1.ep.PollAll() != 1 {
+			t.Fatal("FIR not delivered")
+		}
+		n1.ep.Flush()
+		if n0.ep.PollAll() != 1 {
+			t.Fatal("FIR answer not delivered")
+		}
+	})
+	if sink.n == 0 {
+		t.Fatal("sink saw no events")
+	}
+	if n0.stats.FIRRepair.N == 0 {
+		t.Fatal("repair latency never observed")
+	}
 }
 
 // TestReplyEncodingRoundTrip pins the scalar tags and the boxed fallback.

@@ -35,9 +35,9 @@ func (n *node) sendSteal() {
 	}
 	n.stealOut = true
 	n.stats.StealReqs++
-	if n.m.relOn {
-		n.stealSent = time.Now()
-	}
+	// stealSent doubles as the fault-mode escalation clock (idle) and the
+	// start of the steal-wait latency measurement.
+	n.stealSent = time.Now()
 	n.sendCtl(amnet.Packet{Handler: hStealReq, Dst: n.randomVictim(), VT: n.stamp(0)}, nil, 0, 0)
 }
 
@@ -66,6 +66,9 @@ func (n *node) handleStealGrant(rec *spawnRecord) {
 	n.stealBackoff = n.m.cfg.StealBackoff
 	n.nextSteal = time.Time{}
 	n.stats.StealHits++
+	if !n.stealSent.IsZero() {
+		n.stats.StealWait.Observe(float64(time.Since(n.stealSent)) / 1e3)
+	}
 	n.trace(EvStealHit, rec.alias, rec.alias.Birth)
 	n.spawnq.PushBack(rec)
 }

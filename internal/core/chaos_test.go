@@ -113,7 +113,9 @@ func TestChaos(t *testing.T) {
 		t.Run(cfgCase.name, func(t *testing.T) {
 			cfg := cfgCase.cfg
 			cfg.StallTimeout = 30 * time.Second
+			cfg.TraceBuffer = 2048 // feeds the on-failure flight record
 			m := testMachine(t, cfg)
+			dumpFlightOnFailure(t, m)
 			st, typ := registerChaosType(m, 12345)
 			_, err := m.Run(func(ctx *Context) {
 				for i := 0; i < 6; i++ {
@@ -193,7 +195,9 @@ func TestChaosFaults(t *testing.T) {
 					Seed:       seed,
 				},
 			}
+			cfg.TraceBuffer = 2048 // feeds the on-failure flight record
 			m := testMachine(t, cfg)
+			dumpFlightOnFailure(t, m)
 			st, typ := registerChaosType(m, seed)
 			_, err := m.Run(func(ctx *Context) {
 				for i := 0; i < 10; i++ {

@@ -119,6 +119,32 @@ type Config struct {
 	// TraceBuffer, when positive, records up to this many kernel events
 	// per node (newest kept) for Machine.Trace.  Zero disables tracing.
 	TraceBuffer int
+
+	// TraceSink, when non-nil, additionally streams every kernel trace
+	// event as it is recorded, independent of TraceBuffer.  See the
+	// TraceSink interface for the concurrency contract, and
+	// NewChromeTraceWriter for the Chrome trace-event implementation.
+	// Streaming does I/O on kernel paths; use it for debugging, not for
+	// benchmarking.
+	TraceSink TraceSink
+
+	// FlightPath, when non-empty, makes the machine write a
+	// flight-recorder dump — the newest FlightEvents trace events per
+	// node plus a stats snapshot — to this file when a run dies of
+	// ErrStalled, so a hung run leaves evidence.  See
+	// Machine.WriteFlightRecord.
+	FlightPath string
+
+	// FlightEvents bounds how many newest events per node a flight
+	// record includes.  Default 64.
+	FlightEvents int
+
+	// OnMachine, when non-nil, is called once from NewMachine with the
+	// fully constructed machine before it is returned.  Application
+	// wrappers build machines internally and never expose them; the hook
+	// lets an observer (halrun's -debug-addr endpoint) reach the machine
+	// for StatsNow polling anyway.
+	OnMachine func(*Machine)
 }
 
 // DefaultConfig returns a configuration for nodes PEs with the paper's
@@ -180,6 +206,9 @@ func (c *Config) applyDefaults() error {
 	}
 	if c.Out == nil {
 		c.Out = os.Stdout
+	}
+	if c.FlightEvents <= 0 {
+		c.FlightEvents = 64
 	}
 	c.Costs.applyDefaults()
 	if c.PaceWindow == 0 {

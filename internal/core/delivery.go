@@ -1,6 +1,8 @@
 package core
 
 import (
+	"time"
+
 	"hal/internal/amnet"
 	"hal/internal/names"
 )
@@ -255,6 +257,11 @@ func (n *node) applyCacheUpdate(addr Addr, node amnet.NodeID, rseq uint64) {
 		}
 		ld.State = names.LDRemote
 		ld.RNode, ld.RSeq = node, rseq
+		if ld.FIRSent {
+			// Repair round trip: from the FIR leaving to the descriptor
+			// learning the actor's location (whichever update lands first).
+			n.stats.FIRRepair.Observe(float64(time.Now().UnixNano()-ld.FIRSentAt) / 1e3)
+		}
 		ld.FIRSent = false
 		n.releaseHeld(ld, addr)
 	}
@@ -275,6 +282,7 @@ func (n *node) maybeSendFIR(ld *names.LD, addr Addr) {
 		return
 	}
 	ld.FIRSent = true
+	ld.FIRSentAt = time.Now().UnixNano()
 	n.stats.FIRSent++
 	n.trace(EvFIRSent, addr, ld.RNode)
 	n.sendFIR(ld.RNode, firReq{addr: addr, path: append(n.newPath(), n.id)})

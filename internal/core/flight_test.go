@@ -1,0 +1,92 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestFlightRecordAfterRun: a post-run record carries the header, the
+// aggregate stats block, and per-node sections with the newest events.
+func TestFlightRecordAfterRun(t *testing.T) {
+	m := testMachine(t, Config{Nodes: 2, TraceBuffer: 64})
+	run(t, m, func(ctx *Context) {
+		a := ctx.New(&counterBehavior{})
+		for i := 0; i < 10; i++ {
+			ctx.Send(a, selInc)
+		}
+	})
+	var buf bytes.Buffer
+	if err := m.WriteFlightRecord(&buf, 16); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"=== HAL flight record ===",
+		"creates:", // the stats block
+		"--- node 0:",
+		"--- node 1:",
+		"deliver",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("flight record missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestFlightRecordCapsEvents: perNode bounds the event section.
+func TestFlightRecordCapsEvents(t *testing.T) {
+	m := testMachine(t, Config{Nodes: 1, TraceBuffer: 256})
+	run(t, m, func(ctx *Context) {
+		a := ctx.New(&counterBehavior{})
+		for i := 0; i < 100; i++ {
+			ctx.Send(a, selInc)
+		}
+	})
+	var buf bytes.Buffer
+	if err := m.WriteFlightRecord(&buf, 5); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(buf.String(), "node0 "); n > 5 {
+		t.Errorf("record shows %d events, asked for 5:\n%s", n, buf.String())
+	}
+	if !strings.Contains(buf.String(), "showing newest 5") {
+		t.Errorf("record does not note the cap:\n%s", buf.String())
+	}
+}
+
+// TestStallWritesFlightFile: when a run stalls and Config.FlightPath is
+// set, the monitor leaves a flight record on disk next to the ErrStalled
+// it returns.
+func TestStallWritesFlightFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "flight.txt")
+	m := testMachine(t, Config{
+		Nodes:        2,
+		StallTimeout: 200 * time.Millisecond,
+		TraceBuffer:  64,
+		FlightPath:   path,
+		FlightEvents: 8,
+	})
+	never := &funcBehavior{f: func(ctx *Context, msg *Message) {}}
+	_, err := m.Run(func(ctx *Context) {
+		a := ctx.New(&neverEnabled{never})
+		ctx.Send(a, selWork, 1)
+	})
+	if !errors.Is(err, ErrStalled) {
+		t.Fatalf("err=%v, want ErrStalled", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("stall left no flight record: %v", err)
+	}
+	out := string(data)
+	for _, want := range []string{"=== HAL flight record ===", "--- node 0:", "create"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("flight record missing %q:\n%s", want, out)
+		}
+	}
+}

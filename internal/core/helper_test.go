@@ -2,6 +2,9 @@ package core
 
 import (
 	"io"
+	"os"
+	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -22,6 +25,32 @@ func testMachine(t *testing.T, cfg Config) *Machine {
 		t.Fatal(err)
 	}
 	return m
+}
+
+// dumpFlightOnFailure arms a post-mortem flight record: if the test has
+// failed by the time its cleanups run and HAL_FLIGHT_DIR is set (as in
+// the CI flake-hunter job), the machine's flight record is written there
+// under the test's name.  The record is most useful when the machine was
+// built with Config.TraceBuffer, but the stats section works regardless.
+func dumpFlightOnFailure(t *testing.T, m *Machine) {
+	t.Cleanup(func() {
+		dir := os.Getenv("HAL_FLIGHT_DIR")
+		if !t.Failed() || dir == "" {
+			return
+		}
+		name := strings.NewReplacer("/", "_", " ", "_").Replace(t.Name()) + ".flight"
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			t.Logf("flight record: %v", err)
+			return
+		}
+		defer f.Close()
+		if err := m.WriteFlightRecord(f, 0); err != nil {
+			t.Logf("flight record: %v", err)
+			return
+		}
+		t.Logf("flight record written to %s", f.Name())
+	})
 }
 
 // run executes root and fails the test on error.

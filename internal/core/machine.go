@@ -139,6 +139,9 @@ func NewMachine(cfg Config) (*Machine, error) {
 			}
 		})
 	}
+	if m.cfg.OnMachine != nil {
+		m.cfg.OnMachine(m)
+	}
 	return m, nil
 }
 
@@ -280,6 +283,9 @@ func (m *Machine) monitor(stop <-chan struct{}, done <-chan struct{}) {
 				// The nodes are parked, but this read is technically
 				// racy; it is diagnostic text only.
 				m.stallDump = m.dumpLocked()
+				if m.cfg.FlightPath != "" {
+					m.writeFlightFile()
+				}
 				err := fmt.Errorf("%w: %d work item(s) remain", ErrStalled, live)
 				if m.relExhausted.Load() {
 					err = fmt.Errorf("%w (control-plane retry budget exhausted under fault injection; see NodeStats.RetryExhausted)", err)
@@ -310,6 +316,27 @@ func (m *Machine) Stats() MachineStats {
 		s.Dropped = s.Net.Dropped
 		s.Duplicated = s.Net.Duplicated
 		s.Delayed = s.Net.Delayed
+		out.PerNode[i] = s
+		out.Total.add(s)
+	}
+	return out
+}
+
+// StatsNow snapshots statistics while the machine is running (it is also
+// valid when stopped).  Each node republishes its counters into a mirror
+// between task executions — every 64 loop iterations and before parking —
+// so the returned per-node figures are internally consistent and at most
+// a few scheduling quanta stale.  Snapshots of different nodes are taken
+// at (slightly) different instants, so cross-node identities that hold
+// post-run (e.g. global sent == received) may be off by in-flight work.
+// After Shutdown, StatsNow and Stats agree exactly.
+func (m *Machine) StatsNow() MachineStats {
+	var out MachineStats
+	out.PerNode = make([]NodeStats, len(m.nodes))
+	for i, n := range m.nodes {
+		n.snapMu.Lock()
+		s := n.snap
+		n.snapMu.Unlock()
 		out.PerNode[i] = s
 		out.Total.add(s)
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
+	"sync"
 	"time"
 
 	"hal/internal/amnet"
@@ -72,6 +73,18 @@ type node struct {
 	stats NodeStats
 	ctx   Context
 
+	// snap is the epoch-published mirror of stats that Machine.StatsNow
+	// reads mid-run.  The node copies its counters into it under snapMu
+	// from the run loop between tasks, before an idle park, and at drain
+	// — never from a handler — so the mutex stays off the hot paths and
+	// every published snapshot is internally consistent.
+	snapMu sync.Mutex
+	snap   NodeStats
+
+	// sink receives streamed trace events (Config.TraceSink), nil when
+	// streaming is off.
+	sink TraceSink
+
 	// Control-plane arenas (wire.go): message, spawn-record, and FIR-path
 	// freelists, disabled under fault injection.
 	msgFree   []*Message
@@ -117,6 +130,7 @@ func newNode(m *Machine, id amnet.NodeID) *node {
 		n.invSpeed = 1 / m.cfg.NodeSpeed[id]
 	}
 	n.events.init(m.cfg.TraceBuffer)
+	n.sink = m.cfg.TraceSink
 	n.jc.init()
 	// Peers include the front-end endpoint (index cfg.Nodes).
 	n.rel.init(m.cfg.Nodes + 1)
@@ -141,6 +155,7 @@ func (n *node) run() {
 			// this, a whole run can fit inside one scheduler quantum
 			// and idle nodes never even start polling.
 			runtime.Gosched()
+			n.publishStats()
 		}
 		progressed := n.ep.PollAll() > 0
 		if n.m.relOn && len(n.rel.pending) > 0 {
@@ -171,8 +186,27 @@ func (n *node) run() {
 			continue
 		}
 		n.publish()
+		n.publishStats()
 		n.idle()
 	}
+}
+
+// publishStats copies the node's counters into the snapshot mirror that
+// Machine.StatsNow reads.  Called only between task executions (run loop
+// epoch, pre-idle, drain) so the snapshot never exposes a half-updated
+// protocol step; the mutex is uncontended except against a concurrent
+// StatsNow reader.
+func (n *node) publishStats() {
+	s := n.stats
+	s.Net = n.ep.Stats()
+	// Mirror the network-layer fault counters the way Machine.Stats does,
+	// so live and post-run figures line up field for field.
+	s.Dropped = s.Net.Dropped
+	s.Duplicated = s.Net.Duplicated
+	s.Delayed = s.Net.Delayed
+	n.snapMu.Lock()
+	n.snap = s
+	n.snapMu.Unlock()
 }
 
 // idle parks the node until a packet, the stop signal, or a retry timeout
@@ -237,6 +271,9 @@ func (n *node) drainAndExit() {
 	for n.ep.PollDiscard() {
 	}
 	n.purge()
+	// Final publication: after this the node goroutine is done, so
+	// StatsNow converges to exactly what Stats will report.
+	n.publishStats()
 }
 
 // purge drops work abandoned by a shutdown (ExitNow or stall): dispatcher

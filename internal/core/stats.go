@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"hal/internal/amnet"
+	"hal/internal/hist"
 )
 
 // NodeStats counts one node kernel's activity.  Fields are owned by the
@@ -57,6 +58,13 @@ type NodeStats struct {
 	Retries        uint64 // control packets re-sent after an ack timeout
 	RetryExhausted uint64 // control packets abandoned after the retry budget
 
+	// Latency distributions, host wall-clock microseconds (hist.H is
+	// fixed-size and allocation-free, so observing on kernel paths keeps
+	// the 0-alloc guards green).  Virtual time is unusable here: control
+	// packets carry no VT stamp and an idle node's clock stands still.
+	FIRRepair hist.H // FIR issue -> descriptor repaired (cache update applied)
+	StealWait hist.H // steal request -> grant received (hits only)
+
 	// Network layer (filled from amnet on snapshot).
 	Net amnet.Stats
 }
@@ -100,6 +108,8 @@ func (s *NodeStats) add(o NodeStats) {
 	s.DupsFiltered += o.DupsFiltered
 	s.Retries += o.Retries
 	s.RetryExhausted += o.RetryExhausted
+	s.FIRRepair.Merge(&o.FIRRepair)
+	s.StealWait.Merge(&o.StealWait)
 	s.Net.Add(o.Net)
 }
 
@@ -131,6 +141,13 @@ func (m MachineStats) String() string {
 		fmt.Fprintf(&b, "faults:  dropped=%d dup=%d delayed=%d pauses=%d dedup=%d retries=%d exhausted=%d bulkretry=%d\n",
 			t.Dropped, t.Duplicated, t.Delayed, t.Net.Pauses,
 			t.DupsFiltered, t.Retries, t.RetryExhausted, t.Net.BulkRetries)
+	}
+	if t.FIRRepair.N+t.StealWait.N+t.Net.GrantWait.N > 0 {
+		fmt.Fprintf(&b, "lat:     fir(n=%d p50=%.0fµs p99=%.0fµs) steal(n=%d p50=%.0fµs p99=%.0fµs) grant(n=%d p50=%.0fµs p99=%.0fµs) flushocc(n=%d p50=%.0f max=%.0f)\n",
+			t.FIRRepair.N, t.FIRRepair.Quantile(0.5), t.FIRRepair.Quantile(0.99),
+			t.StealWait.N, t.StealWait.Quantile(0.5), t.StealWait.Quantile(0.99),
+			t.Net.GrantWait.N, t.Net.GrantWait.Quantile(0.5), t.Net.GrantWait.Quantile(0.99),
+			t.Net.FlushOcc.N, t.Net.FlushOcc.Quantile(0.5), t.Net.FlushOcc.Max)
 	}
 	return b.String()
 }

@@ -151,12 +151,45 @@ func (t *traceRing) add(e Event) {
 	t.next = (t.next + 1) % cap(t.buf)
 }
 
-// trace records an event if tracing is enabled.
+// newest returns the ring's events in record order, keeping only the
+// newest max (all of them when max <= 0).  The returned slice aliases a
+// fresh buffer, never the ring.
+func (t *traceRing) newest(max int) []Event {
+	var out []Event
+	if len(t.buf) < cap(t.buf) || t.next == 0 {
+		out = append(out, t.buf...)
+	} else {
+		out = append(out, t.buf[t.next:]...)
+		out = append(out, t.buf[:t.next]...)
+	}
+	if max > 0 && len(out) > max {
+		out = out[len(out)-max:]
+	}
+	return out
+}
+
+// TraceSink receives kernel trace events as they are recorded
+// (Config.TraceSink).  TraceEvent is called from every node goroutine
+// concurrently — including from inside active-message handlers — so
+// implementations must be safe for concurrent use and must never block
+// waiting on kernel progress.  Short internal locking (as in
+// ChromeTraceWriter) is fine.
+type TraceSink interface {
+	TraceEvent(e Event)
+}
+
+// trace records an event if ring tracing or a streaming sink is enabled.
 func (n *node) trace(kind EventKind, addr Addr, peer amnet.NodeID) {
-	if cap(n.events.buf) == 0 {
+	if cap(n.events.buf) == 0 && n.sink == nil {
 		return
 	}
-	n.events.add(Event{VT: n.vclock, Node: n.id, Kind: kind, Addr: addr, Peer: peer})
+	e := Event{VT: n.vclock, Node: n.id, Kind: kind, Addr: addr, Peer: peer}
+	if cap(n.events.buf) != 0 {
+		n.events.add(e)
+	}
+	if n.sink != nil {
+		n.sink.TraceEvent(e)
+	}
 }
 
 // Trace returns the recorded events of the last run, merged across nodes

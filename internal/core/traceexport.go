@@ -1,0 +1,87 @@
+package core
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sync"
+
+	"hal/internal/amnet"
+)
+
+// Chrome trace-event export.
+//
+// Kernel trace events map directly onto the Chrome trace-event JSON array
+// format (loadable in about:tracing and Perfetto): the simulated partition
+// is one process (pid 0), each node is a thread (tid == node id), the
+// virtual clock is the timestamp (both are microseconds), and every kernel
+// event is a thread-scoped instant event.  The writer works either as a
+// streaming Config.TraceSink — events appear in file order, which Perfetto
+// re-sorts by ts — or post-run over Machine.Trace via WriteChromeTrace.
+
+// ChromeTraceWriter emits events as Chrome trace-event JSON.  It is safe
+// for concurrent use (TraceSink contract): a mutex serializes writes into
+// an internal buffered writer.  Close terminates the JSON array and
+// flushes; the caller owns the underlying writer.
+type ChromeTraceWriter struct {
+	mu    sync.Mutex
+	w     *bufio.Writer
+	named map[amnet.NodeID]bool
+	n     int
+}
+
+// NewChromeTraceWriter starts a trace-event array on w.
+func NewChromeTraceWriter(w io.Writer) *ChromeTraceWriter {
+	cw := &ChromeTraceWriter{w: bufio.NewWriter(w), named: make(map[amnet.NodeID]bool)}
+	cw.w.WriteString("[")
+	return cw
+}
+
+// item begins the next array element.
+func (cw *ChromeTraceWriter) item() {
+	if cw.n > 0 {
+		cw.w.WriteString(",\n")
+	} else {
+		cw.w.WriteString("\n")
+	}
+	cw.n++
+}
+
+// TraceEvent writes one event (and, first time a node appears, the
+// thread_name metadata that labels its track).
+func (cw *ChromeTraceWriter) TraceEvent(e Event) {
+	cw.mu.Lock()
+	defer cw.mu.Unlock()
+	if !cw.named[e.Node] {
+		cw.named[e.Node] = true
+		cw.item()
+		fmt.Fprintf(cw.w, `{"name":"thread_name","ph":"M","pid":0,"tid":%d,"args":{"name":"node%d"}}`, e.Node, e.Node)
+	}
+	cw.item()
+	if e.Peer != amnet.NoNode {
+		fmt.Fprintf(cw.w, `{"name":%q,"ph":"i","ts":%.3f,"pid":0,"tid":%d,"s":"t","args":{"addr":"%d:%d","peer":%d}}`,
+			e.Kind.String(), e.VT, e.Node, e.Addr.Birth, e.Addr.Seq, e.Peer)
+	} else {
+		fmt.Fprintf(cw.w, `{"name":%q,"ph":"i","ts":%.3f,"pid":0,"tid":%d,"s":"t","args":{"addr":"%d:%d"}}`,
+			e.Kind.String(), e.VT, e.Node, e.Addr.Birth, e.Addr.Seq)
+	}
+}
+
+// Close terminates the JSON array and flushes buffered output.  It does
+// not close the underlying writer.
+func (cw *ChromeTraceWriter) Close() error {
+	cw.mu.Lock()
+	defer cw.mu.Unlock()
+	cw.w.WriteString("\n]\n")
+	return cw.w.Flush()
+}
+
+// WriteChromeTrace writes events (e.g. Machine.Trace after a run) to w as
+// a complete Chrome trace-event JSON document.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	cw := NewChromeTraceWriter(w)
+	for _, e := range events {
+		cw.TraceEvent(e)
+	}
+	return cw.Close()
+}

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+// collectSink retains every streamed event (TraceSink contract: called
+// concurrently from node goroutines, so it locks).
+type collectSink struct {
+	mu  sync.Mutex
+	evs []Event
+}
+
+func (s *collectSink) TraceEvent(e Event) {
+	s.mu.Lock()
+	s.evs = append(s.evs, e)
+	s.mu.Unlock()
+}
+
+func (s *collectSink) snapshot() []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Event(nil), s.evs...)
+}
+
+// tracedWorkload drives creation, cross-node sends, and migration so the
+// trace contains a representative mix of kinds on several nodes.
+func tracedWorkload(t *testing.T, m *Machine) {
+	t.Helper()
+	wanderer := m.RegisterType("wanderer", func(args []any) Behavior {
+		return &funcBehavior{f: func(ctx *Context, msg *Message) {
+			switch msg.Sel {
+			case selPing:
+				ctx.Migrate(msg.Int(0))
+			case selEcho:
+				ctx.Reply(msg, ctx.Node())
+			}
+		}}
+	})
+	run(t, m, func(ctx *Context) {
+		w := ctx.NewOn(1, wanderer)
+		ctx.Send(w, selPing, 2)
+		j := ctx.NewJoin(1, func(ctx *Context, slots []any) {})
+		ctx.Request(w, selEcho, j, 0)
+	})
+}
+
+// TestTraceSinkStreamsWithoutRing: a Config.TraceSink alone (no
+// TraceBuffer) enables tracing, receives the kernel events as they
+// happen, and leaves the post-run ring empty.
+func TestTraceSinkStreamsWithoutRing(t *testing.T) {
+	sink := &collectSink{}
+	m := testMachine(t, Config{Nodes: 3, TraceSink: sink})
+	tracedWorkload(t, m)
+	evs := sink.snapshot()
+	if len(evs) == 0 {
+		t.Fatal("sink received no events")
+	}
+	kinds := map[EventKind]int{}
+	for _, e := range evs {
+		kinds[e.Kind]++
+	}
+	for _, want := range []EventKind{EvCreate, EvDeliver, EvMigrateOut, EvMigrateIn} {
+		if kinds[want] == 0 {
+			t.Errorf("no %v events streamed: %v", want, kinds)
+		}
+	}
+	if got := m.Trace(); len(got) != 0 {
+		t.Errorf("ring recorded %d events with TraceBuffer unset", len(got))
+	}
+}
+
+// TestTraceSinkAndRingAgree: with both enabled, the sink sees at least
+// everything a large ring retains.
+func TestTraceSinkAndRingAgree(t *testing.T) {
+	sink := &collectSink{}
+	m := testMachine(t, Config{Nodes: 3, TraceBuffer: 1 << 16, TraceSink: sink})
+	tracedWorkload(t, m)
+	ring, streamed := m.Trace(), sink.snapshot()
+	if len(ring) == 0 {
+		t.Fatal("ring recorded nothing")
+	}
+	if len(streamed) != len(ring) {
+		t.Errorf("sink saw %d events, ring retained %d", len(streamed), len(ring))
+	}
+}
+
+// decodeChromeTrace parses a trace-event JSON document and splits
+// metadata records from instants, validating required fields.
+func decodeChromeTrace(t *testing.T, data []byte) (meta, instants []map[string]any) {
+	t.Helper()
+	var items []map[string]any
+	if err := json.Unmarshal(data, &items); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, data)
+	}
+	for _, it := range items {
+		switch it["ph"] {
+		case "M":
+			meta = append(meta, it)
+		case "i":
+			for _, field := range []string{"name", "ts", "pid", "tid", "s"} {
+				if _, ok := it[field]; !ok {
+					t.Fatalf("instant event missing %q: %v", field, it)
+				}
+			}
+			instants = append(instants, it)
+		default:
+			t.Fatalf("unexpected phase %v in %v", it["ph"], it)
+		}
+	}
+	return meta, instants
+}
+
+// TestWriteChromeTraceValid: the post-run exporter produces a loadable
+// trace-event array with one instant per kernel event and one
+// thread_name record per node that appears.
+func TestWriteChromeTraceValid(t *testing.T) {
+	m := testMachine(t, Config{Nodes: 3, TraceBuffer: 1 << 16})
+	tracedWorkload(t, m)
+	evs := m.Trace()
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, evs); err != nil {
+		t.Fatal(err)
+	}
+	meta, instants := decodeChromeTrace(t, buf.Bytes())
+	if len(instants) != len(evs) {
+		t.Errorf("exported %d instants for %d events", len(instants), len(evs))
+	}
+	nodes := map[float64]bool{}
+	for _, e := range evs {
+		nodes[float64(e.Node)] = true
+	}
+	if len(meta) != len(nodes) {
+		t.Errorf("%d thread_name records for %d nodes", len(meta), len(nodes))
+	}
+	for _, it := range instants {
+		if !nodes[it["tid"].(float64)] {
+			t.Fatalf("instant on unknown tid: %v", it)
+		}
+	}
+}
+
+// TestChromeTraceStreamingValid: the same writer used as a live sink
+// (halrun -trace-out) also closes into valid JSON.
+func TestChromeTraceStreamingValid(t *testing.T) {
+	var buf bytes.Buffer
+	cw := NewChromeTraceWriter(&buf)
+	m := testMachine(t, Config{Nodes: 3, TraceSink: cw})
+	tracedWorkload(t, m)
+	if err := cw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, instants := decodeChromeTrace(t, buf.Bytes())
+	if len(instants) == 0 {
+		t.Fatal("streamed trace has no events")
+	}
+}
+
+// TestWriteChromeTraceEmpty: zero events still produce a valid document.
+func TestWriteChromeTraceEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	var items []any
+	if err := json.Unmarshal(buf.Bytes(), &items); err != nil {
+		t.Fatalf("empty trace invalid: %v (%q)", err, buf.String())
+	}
+	if len(items) != 0 {
+		t.Errorf("empty trace decoded to %d items", len(items))
+	}
+}

@@ -1,0 +1,115 @@
+// Package hist provides a fixed-bucket, allocation-free histogram for the
+// runtime's latency and occupancy metrics.
+//
+// The observability plane records distributions — FIR repair round-trips,
+// steal waits, bulk grant waits, batch occupancy — on paths that must stay
+// zero-allocation in steady state (see internal/core/alloc_test.go).  H is
+// therefore a plain value type: a fixed array of power-of-two buckets plus
+// scalar moments, embeddable directly in a stats struct, copied by
+// assignment when a node publishes a snapshot, and merged bucket-wise when
+// per-node figures aggregate into machine totals.  Observe performs no
+// allocation, no locking, and no floating-point log.
+package hist
+
+import (
+	"math"
+	"math/bits"
+)
+
+// Buckets is the number of power-of-two buckets.  Bucket 0 counts values
+// below 1; bucket i (i >= 1) counts values in [2^(i-1), 2^i).  With 28
+// buckets the top bucket starts at 2^26 ≈ 67 s when values are
+// microseconds — far past any latency this runtime produces; larger values
+// clamp into the last bucket.
+const Buckets = 28
+
+// H is a fixed-bucket histogram.  The zero value is ready to use.  Fields
+// are exported so snapshots marshal to JSON and tests can assert on them;
+// an H is owned by one goroutine (a node kernel or an endpoint) and read
+// by others only via published copies.
+type H struct {
+	N   uint64          `json:"n"`
+	Sum float64         `json:"sum"`
+	Max float64         `json:"max"`
+	B   [Buckets]uint64 `json:"buckets"`
+}
+
+// bucketOf maps a value to its bucket index.
+func bucketOf(v float64) int {
+	if v < 1 {
+		return 0
+	}
+	i := bits.Len64(uint64(v)) // v in [2^(i-1), 2^i)
+	if i >= Buckets {
+		return Buckets - 1
+	}
+	return i
+}
+
+// Observe records one value.  Negative values clamp to zero (wall-clock
+// deltas can go slightly negative under clock adjustment).
+func (h *H) Observe(v float64) {
+	if v < 0 {
+		v = 0
+	}
+	h.N++
+	h.Sum += v
+	if v > h.Max {
+		h.Max = v
+	}
+	h.B[bucketOf(v)]++
+}
+
+// Merge accumulates o into h.
+func (h *H) Merge(o *H) {
+	h.N += o.N
+	h.Sum += o.Sum
+	if o.Max > h.Max {
+		h.Max = o.Max
+	}
+	for i := range h.B {
+		h.B[i] += o.B[i]
+	}
+}
+
+// Mean returns the arithmetic mean, or 0 when empty.
+func (h *H) Mean() float64 {
+	if h.N == 0 {
+		return 0
+	}
+	return h.Sum / float64(h.N)
+}
+
+// Quantile returns an upper bound on the q-quantile (0 < q <= 1): the
+// upper edge of the bucket holding the q·N-th observation, capped at the
+// observed maximum.  Resolution is one power of two — adequate for the
+// tail-latency columns this package feeds.
+func (h *H) Quantile(q float64) float64 {
+	if h.N == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(h.N)))
+	if target < 1 {
+		target = 1
+	}
+	if target > h.N {
+		target = h.N
+	}
+	var cum uint64
+	for i, c := range h.B {
+		cum += c
+		if cum >= target {
+			var edge float64
+			if i == 0 {
+				edge = 1
+			} else {
+				edge = float64(uint64(1) << uint(i))
+			}
+			if h.Max > 0 && edge > h.Max {
+				edge = h.Max
+			}
+			return edge
+		}
+	}
+	return h.Max
+}

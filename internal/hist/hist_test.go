@@ -1,0 +1,101 @@
+package hist
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestBucketEdges(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want int
+	}{
+		{0, 0}, {0.5, 0}, {0.999, 0},
+		{1, 1}, {1.5, 1},
+		{2, 2}, {3.99, 2},
+		{4, 3}, {1024, 11},
+		{1 << 40, Buckets - 1}, // clamps
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.v); got != c.want {
+			t.Errorf("bucketOf(%v) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestObserveMoments(t *testing.T) {
+	var h H
+	for _, v := range []float64{1, 2, 4, 8, -3} {
+		h.Observe(v)
+	}
+	if h.N != 5 {
+		t.Errorf("N = %d, want 5", h.N)
+	}
+	if h.Sum != 15 { // -3 clamps to 0
+		t.Errorf("Sum = %v, want 15", h.Sum)
+	}
+	if h.Max != 8 {
+		t.Errorf("Max = %v, want 8", h.Max)
+	}
+	var total uint64
+	for _, c := range h.B {
+		total += c
+	}
+	if total != h.N {
+		t.Errorf("bucket sum %d != N %d", total, h.N)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	var h H
+	if h.Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile should be 0")
+	}
+	// 100 observations of 3µs (bucket 2, range [2,4)), 1 of 1000µs.
+	for i := 0; i < 100; i++ {
+		h.Observe(3)
+	}
+	h.Observe(1000)
+	if p50 := h.Quantile(0.5); p50 != 4 {
+		t.Errorf("p50 = %v, want bucket edge 4", p50)
+	}
+	// p99 of 101 obs lands in the 3µs mass; p995+ reaches the outlier,
+	// capped at the observed max.
+	if p := h.Quantile(0.999); p != 1000 {
+		t.Errorf("p99.9 = %v, want max-capped 1000", p)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	var a, b H
+	a.Observe(1)
+	a.Observe(100)
+	b.Observe(7)
+	a.Merge(&b)
+	if a.N != 3 || a.Sum != 108 || a.Max != 100 {
+		t.Errorf("merged: N=%d Sum=%v Max=%v", a.N, a.Sum, a.Max)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	var h H
+	h.Observe(5)
+	data, err := json.Marshal(&h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got H
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Errorf("round trip: %+v != %+v", got, h)
+	}
+}
+
+func BenchmarkObserve(b *testing.B) {
+	var h H
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i & 1023))
+	}
+}

@@ -114,6 +114,12 @@ func (s LDState) String() string {
 // name server is a substrate below the kernel.
 type LD struct {
 	State LDState
+	// FIRSent dedupes forwarding-information requests per descriptor:
+	// once a node has asked "where did this actor go", further messages
+	// for the same descriptor just join Held.  (Placed beside State so
+	// the flag rides in the descriptor's existing padding: arenas hold
+	// one LD per actor and slab growth amortizes into creation cost.)
+	FIRSent bool
 	// Actor is the local actor when State == LDLocal.
 	Actor any
 	// RNode/RSeq are the best-guess remote location (LDRemote,
@@ -123,10 +129,11 @@ type LD struct {
 	// Held buffers messages (and forwarded FIRs) that cannot be routed
 	// until the descriptor resolves.
 	Held []any
-	// FIRSent dedupes forwarding-information requests per descriptor:
-	// once a node has asked "where did this actor go", further messages
-	// for the same descriptor just join Held.
-	FIRSent bool
+	// FIRSentAt is when the outstanding request left (host clock, Unix
+	// nanoseconds); the kernel measures the repair round trip from it
+	// when the descriptor resolves.  An int64 rather than a time.Time
+	// keeps the descriptor at its pre-observability size.
+	FIRSentAt int64
 }
 
 // Arena is a node's locality-descriptor storage.  Slots are named by Seq
