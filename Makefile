@@ -20,10 +20,12 @@ test:
 test-race:
 	$(GO) test -race ./...
 
-# The project's own analyzer suite via the standard vettool protocol —
-# the same invocation the lint CI job runs.
+# The project's own analyzer suite, both ways the lint CI job runs it:
+# the standard vettool protocol, then the standalone module driver with
+# SARIF emitted next to the binary (CI uploads it to code scanning).
 lint: $(HALVET)
 	$(GO) vet -vettool=$(HALVET) ./...
+	$(GO) run ./cmd/halvet -sarif bin/halvet.sarif ./...
 
 $(HALVET): FORCE
 	$(GO) build -o $(HALVET) ./cmd/halvet

@@ -1,11 +1,16 @@
 // Command halvet is the HAL runtime's invariant checker: a multichecker
-// driving the four analyzers in internal/analysis (handlernoblock,
-// poolowner, repairplane, endpointaffinity).
+// driving the seven analyzers in internal/analysis (handlernoblock,
+// poolowner, repairplane, endpointaffinity, mutexguard, atomicfield,
+// vtclock), plus the driver's staleness sweep over suppression comments.
 //
 // Two ways to run it:
 //
 //	halvet ./...                      # standalone, from the module root
 //	go vet -vettool=$(which halvet) ./...
+//
+// Standalone mode also sweeps for stale suppression comments (disable
+// with -stale=false) and can render findings as a SARIF 2.1.0 log for
+// GitHub code scanning with -sarif <file> (use "-" for stdout).
 //
 // The second form speaks the toolchain's unitchecker protocol: `go vet`
 // interrogates the binary with -V=full (build-cache keying) and -flags
@@ -48,8 +53,10 @@ func main() {
 	for _, az := range analysis.Suite() {
 		enabled[az.Name] = flag.Bool(az.Name, true, "run the "+az.Name+" analyzer")
 	}
+	sarifPath := flag.String("sarif", "", "standalone mode: also write findings as SARIF 2.1.0 to this `file` (\"-\" for stdout)")
+	staleSweep := flag.Bool("stale", true, "standalone mode: flag suppression comments that no longer suppress anything")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: halvet [-<analyzer>=false ...] ./...\n")
+		fmt.Fprintf(os.Stderr, "usage: halvet [-<analyzer>=false ...] [-sarif file] [-stale=false] ./...\n")
 		fmt.Fprintf(os.Stderr, "   or: go vet -vettool=$(which halvet) ./...\n\n")
 		flag.PrintDefaults()
 	}
@@ -66,17 +73,17 @@ func main() {
 	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
 		os.Exit(runVetUnit(args[0], suite))
 	}
-	os.Exit(runStandalone(args, suite))
+	os.Exit(runStandalone(args, suite, *sarifPath, *staleSweep))
 }
 
 // runStandalone analyzes package patterns in the current module.
-func runStandalone(patterns []string, suite []*analysis.Analyzer) int {
+func runStandalone(patterns []string, suite []*analysis.Analyzer, sarifPath string, staleSweep bool) int {
 	wd, err := os.Getwd()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "halvet:", err)
 		return 1
 	}
-	findings, err := analysis.AnalyzeModule(wd, patterns, suite)
+	findings, err := analysis.AnalyzeModule(wd, patterns, suite, staleSweep)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "halvet:", err)
 		return 1
@@ -87,6 +94,20 @@ func runStandalone(patterns []string, suite []*analysis.Analyzer) int {
 		}
 		return findings[i].Pos.Offset < findings[j].Pos.Offset
 	})
+	if sarifPath != "" {
+		blob, err := analysis.EncodeSARIF(findings, suite, wd)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "halvet:", err)
+			return 1
+		}
+		blob = append(blob, '\n')
+		if sarifPath == "-" {
+			os.Stdout.Write(blob)
+		} else if err := os.WriteFile(sarifPath, blob, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "halvet:", err)
+			return 1
+		}
+	}
 	for _, f := range findings {
 		f.Pos.Filename = relTo(wd, f.Pos.Filename)
 		fmt.Fprintln(os.Stderr, f)

@@ -63,10 +63,12 @@ func runVetUnit(cfgPath string, suite []*analysis.Analyzer) int {
 	}
 	loaded, err := analysis.Check(fset, cfg.ImportPath, cfg.GoFiles, exportFor)
 	if err != nil {
-		if cfg.SucceedOnTypecheckFailure {
-			return writeFacts(cfg.VetxOutput, analysis.PackageFacts{})
-		}
-		fmt.Fprintf(os.Stderr, "halvet: type-checking %s: %v\n", cfg.ImportPath, err)
+		// A package that fails to load is a package the suite silently did
+		// not check — fail loudly even when go vet would accept success
+		// (SucceedOnTypecheckFailure), so CI cannot green-light an unvetted
+		// tree.  The compiler will report the root cause too; our message
+		// names the invariant gap.
+		fmt.Fprintf(os.Stderr, "halvet: type-checking %s failed (package NOT analyzed): %v\n", cfg.ImportPath, err)
 		return 1
 	}
 
@@ -85,7 +87,8 @@ func runVetUnit(cfgPath string, suite []*analysis.Analyzer) int {
 		return facts[analyzer]
 	}
 
-	findings, facts, err := analysis.AnalyzeUnit(loaded, suite, cfg.VetxOnly, depFacts)
+	used := map[analysis.DirectiveKey]bool{}
+	findings, facts, err := analysis.AnalyzeUnit(loaded, suite, cfg.VetxOnly, depFacts, used)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "halvet:", err)
 		return 1
@@ -93,7 +96,14 @@ func runVetUnit(cfgPath string, suite []*analysis.Analyzer) int {
 	if code := writeFacts(cfg.VetxOutput, facts); code != 0 {
 		return code
 	}
-	if cfg.VetxOnly || len(findings) == 0 {
+	if cfg.VetxOnly {
+		return 0
+	}
+	// Target packages (the ones go vet was asked about, not dependencies)
+	// also get the staleness sweep: a suppression that fired for no
+	// analyzer this run has rotted into blanket permission.
+	findings = append(findings, analysis.StaleDirectives(fset, loaded.Files, suite, used)...)
+	if len(findings) == 0 {
 		return 0
 	}
 	sort.Slice(findings, func(i, j int) bool {

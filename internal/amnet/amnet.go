@@ -749,6 +749,8 @@ func (ep *Endpoint) PollAll() int {
 // packets are flushed before blocking, and packets the fault plan delayed
 // on an earlier poll are re-injected (counting as a delivery) rather than
 // stranded while the node sleeps.
+//
+//halvet:allowwallclock idle-park timers are host-time: a parked PE's VT is frozen, and its wake-up pacing (steal polls, pause windows) is a host concern
 func (ep *Endpoint) RecvBlock(stop <-chan struct{}, timeout time.Duration) bool {
 	ep.flushOut()
 	if f := ep.faults; f != nil {

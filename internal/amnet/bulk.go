@@ -139,6 +139,7 @@ func (ep *Endpoint) BulkSend(dst NodeID, data []float64, fin Packet) {
 
 	// reqAt doubles as the fault-recovery re-request clock and the start
 	// of the grant-wait latency measurement.
+	//halvet:allowwallclock reqAt seeds the GrantWait host-latency histogram and the fault-recovery re-request timer, both host-time by design
 	x := &outXfer{id: id, dst: dst, data: data, fin: fin, reqAt: time.Now()}
 	b.out = append(b.out, x)
 	ep.Send(Packet{Handler: HBulkReq, Dst: dst, U0: id, U1: uint64(len(data))})
@@ -181,6 +182,7 @@ func registerBulkHandlers(nw *Network) {
 					// Wait measured from the most recent (re-)request, so a
 					// fault-recovery retry does not inflate the figure with
 					// the lost request's timeout.
+					//halvet:allowwallclock GrantWait is a host-microsecond latency histogram (observability plane, not simulation state)
 					ep.stats.GrantWait.Observe(float64(time.Since(x.reqAt)) / 1e3)
 				}
 				x.ready = true
@@ -240,6 +242,7 @@ func (ep *Endpoint) grant(req Packet) {
 		b.granted++
 		x.granted = true
 		if ep.faults != nil {
+			//halvet:allowwallclock grantAt feeds the stale-grant reaper, which recovers from injected faults on the host clock
 			x.grantAt = time.Now()
 		}
 	}
@@ -260,7 +263,7 @@ func (b *bulkState) pump(ep *Endpoint) {
 			// Under fault injection the request or its grant may have
 			// been lost; re-request after a timeout.  The receiver
 			// dedups, so a merely-slow grant is harmless.
-			if f := ep.faults; f != nil && time.Since(x.reqAt) > f.plan.BulkRetry {
+			if f := ep.faults; f != nil && time.Since(x.reqAt) > f.plan.BulkRetry { //halvet:allowwallclock fault-recovery re-request timer paces on the host clock; a lost grant makes no VT progress to wait on
 				x.reqAt = time.Now()
 				ep.stats.BulkRetries++
 				ep.Send(Packet{Handler: HBulkReq, Dst: x.dst, U0: x.id, U1: uint64(len(x.data))})
@@ -291,6 +294,7 @@ func (b *bulkState) pump(ep *Endpoint) {
 // rebuilds it ungranted and the payload still arrives intact.
 func (b *bulkState) reapStaleGrants(ep *Endpoint, after time.Duration) {
 	for k, x := range b.in {
+		//halvet:allowwallclock stale-grant reaping recovers from injected faults, which exist only in host time
 		if !x.granted || x.got > 0 || time.Since(x.grantAt) <= after {
 			continue
 		}

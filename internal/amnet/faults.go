@@ -201,6 +201,8 @@ func (f *epFaults) jitter(d time.Duration) time.Duration {
 
 // pausedNow reports whether the endpoint is inside a pause window,
 // opening a new window when one is due.
+//
+//halvet:allowwallclock fault pause windows are host-time by spec: they model external stalls (GC, preemption) that virtual time cannot see
 func (f *epFaults) pausedNow(ep *Endpoint) bool {
 	if !f.pauses {
 		return false
@@ -232,6 +234,7 @@ func (f *epFaults) pauseRemaining(ep *Endpoint) time.Duration {
 	if !f.pausedNow(ep) {
 		return 0
 	}
+	//halvet:allowwallclock pause windows are host-time by spec (see pausedNow)
 	return time.Until(f.pauseUntil)
 }
 

@@ -11,11 +11,11 @@
 // this module builds hermetically (no module downloads); if x/tools ever
 // becomes available the analyzers port mechanically.
 //
-// Two annotation mechanisms, both requiring a justification:
+// Annotation mechanisms, each requiring a justification:
 //
 //	//lint:ignore halvet-<analyzer> <reason>
 //	    on the flagged line (or the line above) suppresses one diagnostic
-//	    from that analyzer; `halvet` alone suppresses all four.
+//	    from that analyzer; `halvet` alone suppresses all analyzers.
 //
 //	//halvet:allowblock <reason>
 //	    on a function declaration (or immediately above a statement) marks
@@ -23,6 +23,22 @@
 //	    reachability propagation through it.  Reserved for patterns whose
 //	    progress argument lives outside the type system, like the CMAM
 //	    poll-while-stalled discipline in amnet.reserveOrStall.
+//
+//	//halvet:allowwallclock <reason>
+//	    on a function declaration (or immediately above a statement)
+//	    sanctions a host wall-clock operation (time.Now and friends)
+//	    inside a VT-governed package; reserved for observability
+//	    instruments and host-level pacing that virtual time cannot
+//	    express (vtclock analyzer).
+//
+//	//halvet:guardedby <mutexField>
+//	    on a struct field declares which sibling mutex protects it
+//	    (mutexguard analyzer).  A declaration, not a suppression.
+//
+// Suppressions are themselves checked: the driver's staleness sweep
+// (StaleDirectives) reports any suppression comment that no longer
+// suppressed anything during the run — a stale annotation rots into
+// blanket permission for whatever lands on that line next.
 package analysis
 
 import (
@@ -73,6 +89,11 @@ type Pass struct {
 	// analyzer, nil if the dependency exported none.
 	depFacts func(pkgPath, analyzer string) json.RawMessage
 
+	// used records which suppression directives fired during this pass;
+	// shared across the analyzers of one driver run so StaleDirectives can
+	// flag the ones nothing consulted.  Nil when the driver does not sweep.
+	used map[DirectiveKey]bool
+
 	diags []Diagnostic
 	facts json.RawMessage
 }
@@ -114,9 +135,11 @@ func (p *Pass) ImportFacts(pkgPath string, into any) bool {
 }
 
 // runOne executes a single analyzer over a loaded package and returns its
-// diagnostics (suppressions already applied) and exported facts.
+// diagnostics (suppressions already applied) and exported facts.  used, if
+// non-nil, accumulates the suppression directives that fired.
 func runOne(az *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package,
 	info *types.Info, factsOnly bool, depFacts func(pkgPath, analyzer string) json.RawMessage,
+	used map[DirectiveKey]bool,
 ) ([]Diagnostic, json.RawMessage, error) {
 	pass := &Pass{
 		Analyzer:  az,
@@ -126,81 +149,240 @@ func runOne(az *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Pac
 		TypesInfo: info,
 		FactsOnly: factsOnly,
 		depFacts:  depFacts,
+		used:      used,
 	}
 	if err := az.Run(pass); err != nil {
 		return nil, nil, fmt.Errorf("%s: %s: %v", az.Name, pkg.Path(), err)
 	}
-	diags := filterSuppressed(fset, files, pass.diags)
+	diags := filterSuppressed(fset, files, pass.diags, used)
 	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
 	return diags, pass.facts, nil
+}
+
+// --- directives ----------------------------------------------------------
+
+// DirectiveKey identifies one annotation comment by the position of its
+// own line, which is stable across the analyzers of a run.
+type DirectiveKey struct {
+	File string
+	Line int
+}
+
+// Directive is one parsed halvet suppression comment.
+type Directive struct {
+	Key    DirectiveKey
+	Pos    token.Pos
+	Kind   string // "ignore", "allowblock", or "allowwallclock"
+	Arg    string // for "ignore": the targeted analyzer name ("" = all)
+	Reason string
+}
+
+// parseDirective recognizes the suppression comment forms.  A directive
+// without a reason is not honored (ok=false): unexplained suppressions are
+// exactly the convention rot this suite exists to prevent.  The guardedby
+// declaration is not a suppression and is parsed by mutexguard itself.
+func parseDirective(text string) (kind, arg, reason string, ok bool) {
+	if rest, found := strings.CutPrefix(text, "//lint:ignore "); found {
+		fields := strings.Fields(rest)
+		if len(fields) < 2 { // checker name plus at least one word of reason
+			return "", "", "", false
+		}
+		switch {
+		case fields[0] == "halvet":
+			return "ignore", "", strings.Join(fields[1:], " "), true
+		case strings.HasPrefix(fields[0], "halvet-"):
+			return "ignore", strings.TrimPrefix(fields[0], "halvet-"), strings.Join(fields[1:], " "), true
+		}
+		return "", "", "", false
+	}
+	for _, k := range [...]string{"allowblock", "allowwallclock"} {
+		if rest, found := strings.CutPrefix(text, "//halvet:"+k); found {
+			fields := strings.Fields(rest)
+			if len(fields) == 0 {
+				return "", "", "", false
+			}
+			return k, "", strings.Join(fields, " "), true
+		}
+	}
+	return "", "", "", false
+}
+
+// collectDirectives parses every suppression comment in files.
+func collectDirectives(fset *token.FileSet, files []*ast.File) []Directive {
+	var out []Directive
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				kind, arg, reason, ok := parseDirective(c.Text)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				out = append(out, Directive{
+					Key:    DirectiveKey{File: pos.Filename, Line: pos.Line},
+					Pos:    c.Pos(),
+					Kind:   kind,
+					Arg:    arg,
+					Reason: reason,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// useDirective records that the directive at (file, line) suppressed
+// something during this pass.
+func (p *Pass) useDirective(file string, line int) {
+	if p.used != nil {
+		p.used[DirectiveKey{File: file, Line: line}] = true
+	}
+}
+
+// allowAt reports whether an allow directive of the given kind covers the
+// given line of file (the directive's own line, for trailing comments, or
+// the line above), recording a hit for the staleness sweep.
+func (p *Pass) allowAt(kind string, file *ast.File, line int) bool {
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			k, _, _, ok := parseDirective(c.Text)
+			if !ok || k != kind {
+				continue
+			}
+			pos := p.Fset.Position(c.Pos())
+			if pos.Line == line || pos.Line == line-1 {
+				p.useDirective(pos.Filename, pos.Line)
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// funcDirective reports whether the function declaration carries an allow
+// directive of the given kind in its doc comment, returning its key.  The
+// caller marks it used (via UseKey) only when the directive demonstrably
+// suppressed something, so a directive on a function that no longer needs
+// it is reported stale.
+func (p *Pass) funcDirective(kind string, fd *ast.FuncDecl) (DirectiveKey, bool) {
+	if fd.Doc == nil {
+		return DirectiveKey{}, false
+	}
+	for _, c := range fd.Doc.List {
+		if k, _, _, ok := parseDirective(c.Text); ok && k == kind {
+			pos := p.Fset.Position(c.Pos())
+			return DirectiveKey{File: pos.Filename, Line: pos.Line}, true
+		}
+	}
+	return DirectiveKey{}, false
+}
+
+// UseKey marks a directive key as live for the staleness sweep.
+func (p *Pass) UseKey(k DirectiveKey) {
+	if p.used != nil {
+		p.used[k] = true
+	}
+}
+
+// StaleDirectives returns one Finding (analyzer "staleallow") per
+// suppression comment in files that did not suppress anything during the
+// run that populated used.  Ignore directives naming an analyzer outside
+// suite are skipped: staleness can only be judged for checks that ran.
+func StaleDirectives(fset *token.FileSet, files []*ast.File, suite []*Analyzer, used map[DirectiveKey]bool) []Finding {
+	inSuite := map[string]bool{}
+	for _, az := range suite {
+		inSuite[az.Name] = true
+	}
+	var out []Finding
+	for _, d := range collectDirectives(fset, files) {
+		if used[d.Key] {
+			continue
+		}
+		var what string
+		switch d.Kind {
+		case "ignore":
+			if d.Arg != "" && !inSuite[d.Arg] {
+				continue
+			}
+			what = "//lint:ignore halvet"
+			if d.Arg != "" {
+				what = "//lint:ignore halvet-" + d.Arg
+			}
+		case "allowblock":
+			if !inSuite[HandlerNoBlock.Name] {
+				continue
+			}
+			what = "//halvet:allowblock"
+		case "allowwallclock":
+			if !inSuite[VTClock.Name] {
+				continue
+			}
+			what = "//halvet:allowwallclock"
+		default:
+			continue
+		}
+		out = append(out, Finding{
+			Pos:      fset.Position(d.Pos),
+			Analyzer: "staleallow",
+			Message: fmt.Sprintf("stale suppression: %s no longer suppresses any diagnostic; delete it before it licenses whatever lands here next (reason was: %s)",
+				what, d.Reason),
+		})
+	}
+	return out
 }
 
 // --- suppression ---------------------------------------------------------
 
 // filterSuppressed drops diagnostics whose line (or the line above) carries
-// a matching //lint:ignore directive.
-func filterSuppressed(fset *token.FileSet, files []*ast.File, diags []Diagnostic) []Diagnostic {
+// a matching //lint:ignore directive, recording fired directives in used.
+func filterSuppressed(fset *token.FileSet, files []*ast.File, diags []Diagnostic, used map[DirectiveKey]bool) []Diagnostic {
 	if len(diags) == 0 {
 		return diags
 	}
-	// file name -> set of (line, suppressed analyzer or "" for all).
+	// file name -> (covered line, suppressed analyzer or "" for all) ->
+	// the directive's own line (for staleness accounting).
 	type key struct {
 		line int
 		name string
 	}
-	sup := map[string]map[key]bool{}
-	for _, f := range files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				name, ok := parseIgnore(c.Text)
-				if !ok {
-					continue
-				}
-				pos := fset.Position(c.Pos())
-				m := sup[pos.Filename]
-				if m == nil {
-					m = map[key]bool{}
-					sup[pos.Filename] = m
-				}
-				// The directive covers its own line and the next one, so it
-				// works both as a trailing comment and on the line above.
-				m[key{pos.Line, name}] = true
-				m[key{pos.Line + 1, name}] = true
-			}
+	sup := map[string]map[key]int{}
+	for _, d := range collectDirectives(fset, files) {
+		if d.Kind != "ignore" {
+			continue
 		}
+		m := sup[d.Key.File]
+		if m == nil {
+			m = map[key]int{}
+			sup[d.Key.File] = m
+		}
+		// The directive covers its own line and the next one, so it
+		// works both as a trailing comment and on the line above.
+		m[key{d.Key.Line, d.Arg}] = d.Key.Line
+		m[key{d.Key.Line + 1, d.Arg}] = d.Key.Line
 	}
 	kept := diags[:0]
 	for _, d := range diags {
 		pos := fset.Position(d.Pos)
 		m := sup[pos.Filename]
-		if m != nil && (m[key{pos.Line, d.Analyzer}] || m[key{pos.Line, ""}]) {
+		if m == nil {
+			kept = append(kept, d)
+			continue
+		}
+		if dl, ok := m[key{pos.Line, d.Analyzer}]; ok {
+			if used != nil {
+				used[DirectiveKey{File: pos.Filename, Line: dl}] = true
+			}
+			continue
+		}
+		if dl, ok := m[key{pos.Line, ""}]; ok {
+			if used != nil {
+				used[DirectiveKey{File: pos.Filename, Line: dl}] = true
+			}
 			continue
 		}
 		kept = append(kept, d)
 	}
 	return kept
-}
-
-// parseIgnore recognizes `//lint:ignore halvet-<name> reason` (and bare
-// `halvet`, which matches every analyzer).  A directive without a reason
-// is not honored: unexplained suppressions are exactly the convention rot
-// this suite exists to prevent.
-func parseIgnore(text string) (analyzer string, ok bool) {
-	rest, found := strings.CutPrefix(text, "//lint:ignore ")
-	if !found {
-		return "", false
-	}
-	fields := strings.Fields(rest)
-	if len(fields) < 2 { // checker name plus at least one word of reason
-		return "", false
-	}
-	switch {
-	case fields[0] == "halvet":
-		return "", true
-	case strings.HasPrefix(fields[0], "halvet-"):
-		return strings.TrimPrefix(fields[0], "halvet-"), true
-	}
-	return "", false
 }
 
 // shortPos renders a position as "file.go:line" for diagnostic chains.
@@ -211,38 +393,4 @@ func shortPos(fset *token.FileSet, pos token.Pos) string {
 		name = name[i+1:]
 	}
 	return fmt.Sprintf("%s:%d", name, p.Line)
-}
-
-// hasAllowBlock reports whether a //halvet:allowblock directive with a
-// justification is attached to the given line (same line or the line
-// above) in the file's comments.
-func hasAllowBlock(fset *token.FileSet, file *ast.File, line int) bool {
-	for _, cg := range file.Comments {
-		for _, c := range cg.List {
-			rest, found := strings.CutPrefix(c.Text, "//halvet:allowblock")
-			if !found || len(strings.Fields(rest)) == 0 {
-				continue
-			}
-			l := fset.Position(c.Pos()).Line
-			if l == line || l == line-1 {
-				return true
-			}
-		}
-	}
-	return false
-}
-
-// funcHasAllowBlock reports whether the function declaration carries a
-// //halvet:allowblock directive in its doc comment.
-func funcHasAllowBlock(fd *ast.FuncDecl) bool {
-	if fd.Doc == nil {
-		return false
-	}
-	for _, c := range fd.Doc.List {
-		if rest, found := strings.CutPrefix(c.Text, "//halvet:allowblock"); found &&
-			len(strings.Fields(rest)) > 0 {
-			return true
-		}
-	}
-	return false
 }

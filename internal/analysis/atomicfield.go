@@ -1,0 +1,255 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AtomicField flags mixed plain/atomic access to shared words — the
+// canonical data-race class the planned lock-free MPSC-ring work will
+// mint.  Two rules:
+//
+//  1. Any struct field or package-level variable whose address is ever
+//     passed to a sync/atomic operation (atomic.LoadUint64(&x.seq), ...)
+//     must be accessed through sync/atomic everywhere.  A single plain
+//     read of such a word is a data race even on amd64: the compiler may
+//     tear, cache, or reorder it, and the race detector only catches the
+//     interleavings the test happens to schedule.  The atomic set
+//     propagates across packages as facts.
+//
+//  2. A field of a typed-wrapper atomic (atomic.Bool/Int32/Int64/
+//     Uint32/Uint64/Uintptr/Pointer/Value) may only be used as a method
+//     receiver or have its address taken.  Copying or reassigning the
+//     wrapper value smuggles the word out of the atomic protocol (and
+//     copies the noCopy sentinel vet would also complain about).
+var AtomicField = &Analyzer{
+	Name: "atomicfield",
+	Doc:  "flag plain access to fields/vars that are elsewhere accessed via sync/atomic, and copies of atomic wrapper values",
+	Run:  runAtomicField,
+}
+
+// afFacts is the exported atomic set: "TypeName.FieldName" for fields,
+// bare names for package-level vars.
+type afFacts struct {
+	Atomic []string
+}
+
+// afWrappers is the set of typed atomic wrappers in sync/atomic.
+var afWrappers = map[string]bool{
+	"Bool": true, "Int32": true, "Int64": true, "Uint32": true,
+	"Uint64": true, "Uintptr": true, "Pointer": true, "Value": true,
+}
+
+type afScan struct {
+	pass    *Pass
+	tracked map[string]bool            // this package's atomic set
+	ext     map[string]map[string]bool // imported atomic sets by pkg path
+	// sanctioned marks the &-operand nodes of sync/atomic calls: the one
+	// place a tracked object may legally appear.
+	sanctioned map[ast.Node]bool
+}
+
+func runAtomicField(pass *Pass) error {
+	s := &afScan{
+		pass:       pass,
+		tracked:    map[string]bool{},
+		ext:        map[string]map[string]bool{},
+		sanctioned: map[ast.Node]bool{},
+	}
+	// Phase A: collect the atomic set (and the sanctioned access sites)
+	// from every &x passed to a sync/atomic operation.
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !afAtomicCall(pass.TypesInfo, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				u, ok := arg.(*ast.UnaryExpr)
+				if !ok || u.Op != token.AND {
+					continue
+				}
+				target := ast.Unparen(u.X)
+				s.sanctioned[target] = true
+				if pkg, key, ok := s.objKey(target); ok && pkg == pass.Pkg {
+					s.tracked[key] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(s.tracked) > 0 {
+		keys := make([]string, 0, len(s.tracked))
+		for k := range s.tracked {
+			keys = append(keys, k)
+		}
+		if err := pass.ExportFacts(afFacts{Atomic: keys}); err != nil {
+			return err
+		}
+	}
+	if pass.FactsOnly {
+		return nil
+	}
+	// Phase B: flag plain accesses of tracked objects and copies of
+	// wrapper values.
+	for _, file := range pass.Files {
+		s.check(file)
+	}
+	return nil
+}
+
+// afAtomicCall reports whether call is a function-style sync/atomic
+// operation (Load*/Store*/Add*/Swap*/CompareAndSwap*/And*/Or*).
+func afAtomicCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := staticCallee(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	for _, p := range [...]string{"Load", "Store", "Add", "Swap", "CompareAndSwap", "And", "Or"} {
+		if strings.HasPrefix(fn.Name(), p) {
+			return true
+		}
+	}
+	return false
+}
+
+// objKey resolves an expression to (defining package, atomic-set key) if
+// it denotes a struct field access or a package-level variable.
+func (s *afScan) objKey(e ast.Expr) (*types.Package, string, bool) {
+	switch v := e.(type) {
+	case *ast.SelectorExpr:
+		if selc, ok := s.pass.TypesInfo.Selections[v]; ok && selc.Kind() == types.FieldVal {
+			fv, ok := selc.Obj().(*types.Var)
+			if !ok || fv.Pkg() == nil {
+				return nil, "", false
+			}
+			recv := selc.Recv()
+			if p, ok := recv.(*types.Pointer); ok {
+				recv = p.Elem()
+			}
+			named, ok := recv.(*types.Named)
+			if !ok {
+				return nil, "", false
+			}
+			return fv.Pkg(), named.Obj().Name() + "." + fv.Name(), true
+		}
+		// Qualified identifier: pkg.Var.
+		if id, ok := v.X.(*ast.Ident); ok {
+			if _, isPkg := s.pass.TypesInfo.Uses[id].(*types.PkgName); isPkg {
+				if pv, ok := s.pass.TypesInfo.Uses[v.Sel].(*types.Var); ok && pv.Pkg() != nil {
+					return pv.Pkg(), pv.Name(), true
+				}
+			}
+		}
+	case *ast.Ident:
+		pv, ok := s.pass.TypesInfo.Uses[v].(*types.Var)
+		if !ok || pv.IsField() || pv.Pkg() == nil {
+			return nil, "", false
+		}
+		// Package-level variables only: locals are single-goroutine until
+		// they escape, which the escape itself will be flagged through.
+		if pv.Parent() != pv.Pkg().Scope() {
+			return nil, "", false
+		}
+		return pv.Pkg(), pv.Name(), true
+	}
+	return nil, "", false
+}
+
+// inAtomicSet reports whether the (pkg, key) pair is in the atomic set,
+// consulting facts for dependency packages.
+func (s *afScan) inAtomicSet(pkg *types.Package, key string) bool {
+	if pkg == s.pass.Pkg {
+		return s.tracked[key]
+	}
+	set, ok := s.ext[pkg.Path()]
+	if !ok {
+		var facts afFacts
+		if s.pass.ImportFacts(pkg.Path(), &facts) {
+			set = make(map[string]bool, len(facts.Atomic))
+			for _, k := range facts.Atomic {
+				set[k] = true
+			}
+		}
+		s.ext[pkg.Path()] = set // cache misses too
+	}
+	return set[key]
+}
+
+// check walks one file with parent tracking, applying both rules.
+func (s *afScan) check(file *ast.File) {
+	var stack []ast.Node
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		var parent ast.Node
+		if len(stack) > 0 {
+			parent = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+
+		switch v := n.(type) {
+		case *ast.SelectorExpr:
+			if tv, ok := s.pass.TypesInfo.Types[v]; !ok || !tv.IsValue() {
+				return true // type expression or qualified package name
+			}
+			s.checkMixed(v, parent)
+			s.checkWrapperCopy(v, parent)
+		case *ast.Ident:
+			// The Sel half of a selector is handled at the selector node.
+			if p, ok := parent.(*ast.SelectorExpr); ok && p.Sel == v {
+				return true
+			}
+			s.checkMixed(v, parent)
+		}
+		return true
+	})
+}
+
+// checkMixed flags a tracked object appearing anywhere but as the
+// &-operand of a sync/atomic call.
+func (s *afScan) checkMixed(e ast.Expr, parent ast.Node) {
+	pkg, key, ok := s.objKey(e)
+	if !ok || !s.inAtomicSet(pkg, key) {
+		return
+	}
+	if s.sanctioned[e] {
+		return
+	}
+	verb := "plain access of"
+	if u, ok := parent.(*ast.UnaryExpr); ok && u.Op == token.AND {
+		verb = "escaping address of"
+	}
+	s.pass.Report(e.Pos(),
+		"%s %s, which is accessed via sync/atomic elsewhere: mixed plain/atomic access is a data race; use atomic operations at every site",
+		verb, types.ExprString(e))
+}
+
+// checkWrapperCopy flags a typed-wrapper atomic field used as a value.
+func (s *afScan) checkWrapperCopy(v *ast.SelectorExpr, parent ast.Node) {
+	named, ok := s.pass.TypesInfo.TypeOf(v).(*types.Named)
+	if !ok {
+		return
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" || !afWrappers[obj.Name()] {
+		return
+	}
+	switch p := parent.(type) {
+	case *ast.SelectorExpr:
+		if p.X == v {
+			return // method receiver: x.ctr.Load()
+		}
+	case *ast.UnaryExpr:
+		if p.Op == token.AND {
+			return // address taken: (&x.ctr).Load(), field init via pointer
+		}
+	}
+	s.pass.Report(v.Pos(),
+		"%s has atomic wrapper type %s.%s: copying or reassigning the wrapper bypasses the atomic protocol; use its methods (or take its address)",
+		types.ExprString(v), "atomic", obj.Name())
+}

@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestAtomicFieldFixture(t *testing.T) {
+	runFixture(t, AtomicField, "atomicfield")
+}

@@ -6,13 +6,16 @@ import (
 	"go/token"
 )
 
-// Suite returns the four halvet analyzers in their canonical order.
+// Suite returns the seven halvet analyzers in their canonical order.
 func Suite() []*Analyzer {
 	return []*Analyzer{
 		HandlerNoBlock,
 		PoolOwner,
 		RepairPlane,
 		EndpointAffinity,
+		MutexGuard,
+		AtomicField,
+		VTClock,
 	}
 }
 
@@ -31,9 +34,12 @@ func (f Finding) String() string {
 // AnalyzeModule loads the packages matching patterns (relative to dir),
 // runs the analyzers over each non-dependency match, and returns every
 // finding.  Dependencies inside the same module are analyzed in
-// FactsOnly mode first so cross-package facts (handler reachability) are
-// available, mirroring what `go vet -vettool` does with vetx files.
-func AnalyzeModule(dir string, patterns []string, analyzers []*Analyzer) ([]Finding, error) {
+// FactsOnly mode first so cross-package facts (handler reachability,
+// guard obligations, atomic-field sets) are available, mirroring what
+// `go vet -vettool` does with vetx files.  With staleSweep set, every
+// suppression comment in a pattern-matched package that suppressed
+// nothing is reported as a "staleallow" finding.
+func AnalyzeModule(dir string, patterns []string, analyzers []*Analyzer, staleSweep bool) ([]Finding, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -47,6 +53,7 @@ func AnalyzeModule(dir string, patterns []string, analyzers []*Analyzer) ([]Find
 	depFacts := func(pkgPath, analyzer string) json.RawMessage {
 		return allFacts[pkgPath][analyzer]
 	}
+	used := map[DirectiveKey]bool{}
 
 	var findings []Finding
 	for _, lp := range pkgs { // go list -deps order: dependencies first
@@ -59,7 +66,7 @@ func AnalyzeModule(dir string, patterns []string, analyzers []*Analyzer) ([]Find
 		}
 		facts := PackageFacts{}
 		for _, az := range analyzers {
-			diags, blob, err := runOne(az, fset, loaded.Files, loaded.Pkg, loaded.Info, lp.DepOnly, depFacts)
+			diags, blob, err := runOne(az, fset, loaded.Files, loaded.Pkg, loaded.Info, lp.DepOnly, depFacts, used)
 			if err != nil {
 				return nil, err
 			}
@@ -75,6 +82,9 @@ func AnalyzeModule(dir string, patterns []string, analyzers []*Analyzer) ([]Find
 			}
 		}
 		allFacts[lp.ImportPath] = facts
+		if staleSweep && !lp.DepOnly {
+			findings = append(findings, StaleDirectives(fset, loaded.Files, analyzers, used)...)
+		}
 	}
 	return findings, nil
 }
@@ -82,14 +92,16 @@ func AnalyzeModule(dir string, patterns []string, analyzers []*Analyzer) ([]Find
 // AnalyzeUnit runs the analyzers over one already-loaded package with the
 // given dependency facts, returning diagnostics and the package's exported
 // facts.  This is the single-package entry point the `go vet -vettool`
-// protocol driver (cmd/halvet) uses.
+// protocol driver (cmd/halvet) uses.  used, if non-nil, accumulates fired
+// suppression directives for a subsequent StaleDirectives sweep.
 func AnalyzeUnit(lp *LoadedPackage, analyzers []*Analyzer, factsOnly bool,
 	depFacts func(pkgPath, analyzer string) json.RawMessage,
+	used map[DirectiveKey]bool,
 ) ([]Finding, PackageFacts, error) {
 	facts := PackageFacts{}
 	var findings []Finding
 	for _, az := range analyzers {
-		diags, blob, err := runOne(az, lp.Fset, lp.Files, lp.Pkg, lp.Info, factsOnly, depFacts)
+		diags, blob, err := runOne(az, lp.Fset, lp.Files, lp.Pkg, lp.Info, factsOnly, depFacts, used)
 		if err != nil {
 			return nil, nil, err
 		}

@@ -29,6 +29,11 @@ import (
 // Propagation crosses package boundaries through facts; indirect calls
 // (function values, actor behaviors) are not followed — the analyzer
 // polices the kernel's own plumbing, not application behavior code.
+// Known blindspot of that rule: callback-taking std methods such as
+// (*sync.Map).Range run their argument synchronously, but the argument
+// is a function value, so a blocking Range callback is invisible to the
+// static graph.  Keep sync.Map iteration out of handler paths (or flag a
+// new hazard entry here if one ever appears in the kernel).
 // Sanctioned blocking (the poll-while-stalled discipline in
 // amnet.reserveOrStall) is marked //halvet:allowblock with justification.
 var HandlerNoBlock = &Analyzer{
@@ -48,13 +53,17 @@ type nbFacts struct {
 // the PE (e.g. fmt printing); the table is the analyzer's model of std,
 // since std packages are not themselves analyzed.
 var nbBuiltinBlocking = map[string]string{
-	"time.Sleep":              "time.Sleep parks the PE goroutine",
-	"(*sync.Mutex).Lock":      "sync.Mutex.Lock may block on a contended lock",
-	"(*sync.RWMutex).Lock":    "sync.RWMutex.Lock may block on a contended lock",
-	"(*sync.RWMutex).RLock":   "sync.RWMutex.RLock may block on a contended lock",
-	"(*sync.WaitGroup).Wait":  "sync.WaitGroup.Wait parks until the group drains",
-	"(*sync.Cond).Wait":       "sync.Cond.Wait parks until signaled",
-	"(*sync.Once).Do":         "sync.Once.Do may block waiting for the winning call",
+	"time.Sleep":             "time.Sleep parks the PE goroutine",
+	"(*sync.Mutex).Lock":     "sync.Mutex.Lock may block on a contended lock",
+	"(*sync.RWMutex).Lock":   "sync.RWMutex.Lock may block on a contended lock",
+	"(*sync.RWMutex).RLock":  "sync.RWMutex.RLock may block on a contended lock",
+	"(*sync.WaitGroup).Wait": "sync.WaitGroup.Wait parks until the group drains",
+	"(*sync.Cond).Wait":      "sync.Cond.Wait parks until signaled",
+	"(*sync.Once).Do":        "sync.Once.Do may block waiting for the winning call",
+	// RLocker's Locker locks through interface dispatch, which the static
+	// graph cannot see; the acquisition site is flagged instead, since the
+	// only purpose of an RLocker is to Lock it.
+	"(*sync.RWMutex).RLocker": "sync.RWMutex.RLocker yields a Locker whose Lock parks like RLock (interface calls are invisible to the static graph, so the acquisition is flagged)",
 }
 
 // nbContractHazard returns a non-empty reason when fn is an amnet Endpoint
@@ -102,8 +111,17 @@ type nbRoot struct {
 	short   string
 }
 
+// nbAllowed is one //halvet:allowblock-trusted function, kept with its
+// untrusted ("shadow") scan so the directive can be staleness-checked: the
+// directive is live only if the body would still block without it.
+type nbAllowed struct {
+	key    DirectiveKey
+	shadow *nbFunc
+}
+
 func runHandlerNoBlock(pass *Pass) error {
 	s := &nbState{pass: pass, funcs: map[string]*nbFunc{}, memo: map[string][]string{}}
+	var allowed []nbAllowed
 
 	// Scan every declared function in the package.
 	for _, file := range pass.Files {
@@ -117,11 +135,20 @@ func runHandlerNoBlock(pass *Pass) error {
 			if !ok {
 				continue
 			}
-			if funcHasAllowBlock(fd) {
+			if dk, ok := pass.funcDirective("allowblock", fd); ok {
+				allowed = append(allowed, nbAllowed{key: dk, shadow: s.scanBody(fd.Body)})
 				s.funcs[obj.FullName()] = &nbFunc{} // trusted: treated as clean
 				continue
 			}
 			s.funcs[obj.FullName()] = s.scanBody(fd.Body)
+		}
+	}
+
+	// Counterfactual staleness check: a function-level allowblock is live
+	// only while the untrusted body still reaches a blocking operation.
+	for _, a := range allowed {
+		if s.resolveFunc(a.shadow, map[string]bool{}) != nil {
+			pass.UseKey(a.key)
 		}
 	}
 
@@ -209,7 +236,16 @@ func (s *nbState) scanStmt(n ast.Node, fn *nbFunc, nonBlockingComms bool) {
 			return true
 		case *ast.UnaryExpr:
 			if x.Op == token.ARROW && !nonBlockingComms {
-				s.event(fn, x.OpPos, "channel receive")
+				desc := "channel receive"
+				if isTimerChanDrain(s.pass.TypesInfo, x.X) {
+					// The Stop-then-drain idiom: `if !t.Stop() { <-t.C }`.
+					// Stop does not guarantee a value is (or ever will be)
+					// in C — a timer stopped before firing never sends, so
+					// a bare drain parks forever.  Drain with a
+					// select+default poll instead.
+					desc = "(*time.Timer).C drain receive parks forever if the timer was stopped before firing (Stop does not send; poll with select+default)"
+				}
+				s.event(fn, x.OpPos, desc)
 			}
 			return true
 		case *ast.RangeStmt:
@@ -283,10 +319,32 @@ func (s *nbState) scanCall(call *ast.CallExpr, fn *nbFunc) {
 // event records a primitive blocking operation unless a statement-level
 // //halvet:allowblock directive sanctions it.
 func (s *nbState) event(fn *nbFunc, pos token.Pos, desc string) {
-	if hasAllowBlock(s.pass.Fset, s.file, s.pass.Fset.Position(pos).Line) {
+	if s.pass.allowAt("allowblock", s.file, s.pass.Fset.Position(pos).Line) {
 		return
 	}
 	fn.events = append(fn.events, nbEvent{pos: pos, desc: desc})
+}
+
+// isTimerChanDrain reports whether e is the C field of a *time.Timer (or
+// *time.Ticker), i.e. the receive operand of a drain.
+func isTimerChanDrain(info *types.Info, e ast.Expr) bool {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "C" {
+		return false
+	}
+	tv, ok := info.Types[sel.X]
+	if !ok {
+		return false
+	}
+	t := tv.Type
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil || n.Obj().Pkg().Path() != "time" {
+		return false
+	}
+	return n.Obj().Name() == "Timer" || n.Obj().Name() == "Ticker"
 }
 
 const nbMaxChain = 6

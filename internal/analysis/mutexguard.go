@@ -1,0 +1,536 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MutexGuard enforces declared lock discipline: a struct field annotated
+//
+//	//halvet:guardedby <mutexField>
+//
+// (doc comment or trailing comment on the field) may only be read while
+// the named sibling mutex is held and only be written (or have its address
+// taken) while it is held exclusively.  The seed obligation is the
+// snapMu-protected NodeStats mirror in internal/core — the PR 5 stats
+// plane publishes into n.snap under n.snapMu, and an unguarded read there
+// is a torn-struct race that shows up as impossible counter values in
+// trajectory dumps.
+//
+// The check is a per-function abstract interpretation of the held-lock
+// set.  Lock identity is syntactic — the receiver expression's printed
+// form plus the guard field name — so n.snapMu.Lock() protects n.snap,
+// and a local alias (mu := &n.snapMu; mu.Lock()) resolves to the same
+// identity.  defer mu.Unlock() is deliberately ignored: the lock stays
+// held until function exit, which is exactly the semantics of the
+// lock/defer-unlock idiom.  Branches fork the state and merge by
+// intersection; loop bodies and select/switch clauses analyze on a copy
+// (a lock acquired inside is not assumed held after).  Function literals
+// start from an empty held set — a goroutine does not inherit its
+// creator's locks.
+//
+// Guard obligations cross package boundaries as facts keyed
+// "TypeName.FieldName", so a dependent package reading an exported
+// guarded field is held to the same rule.
+var MutexGuard = &Analyzer{
+	Name: "mutexguard",
+	Doc:  "enforce //halvet:guardedby field annotations: guarded fields accessed only under their declared mutex",
+	Run:  runMutexGuard,
+}
+
+// mgFacts is the exported guard table: "TypeName.FieldName" -> guard
+// field name.
+type mgFacts struct {
+	Guards map[string]string
+}
+
+// Held-lock modes.  RLock confers read permission, Lock both.
+const (
+	mgShared = 1 << iota
+	mgExcl
+)
+
+// mgState maps a canonical lock identity ("n.snapMu") to its held mode.
+type mgState map[string]int
+
+func (m mgState) clone() mgState {
+	c := make(mgState, len(m))
+	for k, v := range m {
+		c[k] = v
+	}
+	return c
+}
+
+// mgIntersect merges two branch outcomes: a lock is held after the join
+// only if both paths hold it, at the weaker of the two modes.
+func mgIntersect(a, b mgState) mgState {
+	out := mgState{}
+	for k, va := range a {
+		if vb, ok := b[k]; ok {
+			if m := va & vb; m != 0 {
+				out[k] = m
+			}
+		}
+	}
+	return out
+}
+
+// mgOp is the state effect of one sync locking method.
+type mgOp struct {
+	acquire bool
+	mode    int
+}
+
+// mgLockOps maps sync (R)Lock/(R)Unlock methods to their state effect.
+var mgLockOps = map[string]mgOp{
+	"(*sync.Mutex).Lock":      {true, mgExcl},
+	"(*sync.Mutex).Unlock":    {false, mgExcl},
+	"(*sync.RWMutex).Lock":    {true, mgExcl},
+	"(*sync.RWMutex).Unlock":  {false, mgExcl},
+	"(*sync.RWMutex).RLock":   {true, mgShared},
+	"(*sync.RWMutex).RUnlock": {false, mgShared},
+}
+
+type mgScan struct {
+	pass   *Pass
+	file   *ast.File
+	guards map[*types.Var]string // local guarded field -> guard name
+	// ext caches imported guard tables: pkg path -> "Type.Field" -> guard.
+	ext     map[string]map[string]string
+	aliases map[*types.Var]string // local mutex alias -> canonical lock id
+}
+
+func runMutexGuard(pass *Pass) error {
+	s := &mgScan{
+		pass:   pass,
+		guards: map[*types.Var]string{},
+		ext:    map[string]map[string]string{},
+	}
+	exported := map[string]string{}
+	for _, file := range pass.Files {
+		s.collectGuards(file, exported)
+	}
+	if len(exported) > 0 {
+		if err := pass.ExportFacts(mgFacts{Guards: exported}); err != nil {
+			return err
+		}
+	}
+	if pass.FactsOnly {
+		return nil
+	}
+	for _, file := range pass.Files {
+		s.file = file
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			s.aliases = map[*types.Var]string{}
+			s.block(fd.Body.List, mgState{})
+		}
+	}
+	return nil
+}
+
+// collectGuards parses every //halvet:guardedby annotation in file,
+// validating that the named guard is a sibling mutex field, and records
+// both the local obligation map and the exported fact table.
+func (s *mgScan) collectGuards(file *ast.File, exported map[string]string) {
+	for _, decl := range file.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.TYPE {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			ts, ok := spec.(*ast.TypeSpec)
+			if !ok {
+				continue
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				continue
+			}
+			for _, fld := range st.Fields.List {
+				guard := mgAnnotation(fld)
+				if guard == "" {
+					continue
+				}
+				if !s.mutexSibling(st, guard) {
+					s.pass.Report(fld.Pos(),
+						"//halvet:guardedby %s: %s is not a sibling sync.Mutex or sync.RWMutex field of %s",
+						guard, guard, ts.Name.Name)
+					continue
+				}
+				for _, name := range fld.Names {
+					if v, ok := s.pass.TypesInfo.Defs[name].(*types.Var); ok {
+						s.guards[v] = guard
+						exported[ts.Name.Name+"."+name.Name] = guard
+					}
+				}
+			}
+		}
+	}
+}
+
+// mgAnnotation extracts the guard name from a field's doc or trailing
+// comment, "" if unannotated.
+func mgAnnotation(fld *ast.Field) string {
+	for _, cg := range [...]*ast.CommentGroup{fld.Doc, fld.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			if rest, ok := strings.CutPrefix(c.Text, "//halvet:guardedby "); ok {
+				if f := strings.Fields(rest); len(f) > 0 {
+					return f[0]
+				}
+			}
+		}
+	}
+	return ""
+}
+
+// mutexSibling reports whether st has a field named guard of type
+// sync.Mutex or sync.RWMutex (or a pointer to one).
+func (s *mgScan) mutexSibling(st *ast.StructType, guard string) bool {
+	for _, fld := range st.Fields.List {
+		for _, name := range fld.Names {
+			if name.Name != guard {
+				continue
+			}
+			t := s.pass.TypesInfo.TypeOf(fld.Type)
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			switch t.String() {
+			case "sync.Mutex", "sync.RWMutex":
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// guardOf returns the guard field name a selector's field is declared
+// under, "" for unguarded selectors.  Cross-package obligations come in
+// through the fact table of the field's defining package.
+func (s *mgScan) guardOf(sel *ast.SelectorExpr) string {
+	selc, ok := s.pass.TypesInfo.Selections[sel]
+	if !ok || selc.Kind() != types.FieldVal {
+		return ""
+	}
+	fv, ok := selc.Obj().(*types.Var)
+	if !ok {
+		return ""
+	}
+	if g, ok := s.guards[fv]; ok {
+		return g
+	}
+	if fv.Pkg() == nil || fv.Pkg() == s.pass.Pkg {
+		return ""
+	}
+	tbl, ok := s.ext[fv.Pkg().Path()]
+	if !ok {
+		var facts mgFacts
+		if s.pass.ImportFacts(fv.Pkg().Path(), &facts) {
+			tbl = facts.Guards
+		}
+		s.ext[fv.Pkg().Path()] = tbl // cache misses too
+	}
+	if tbl == nil {
+		return ""
+	}
+	recv := selc.Recv()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return ""
+	}
+	return tbl[named.Obj().Name()+"."+fv.Name()]
+}
+
+// canon renders the canonical identity of a lock receiver or field base
+// expression, resolving local aliases (mu := &n.snapMu) to the expression
+// they were bound to.
+func (s *mgScan) canon(e ast.Expr) string {
+	for {
+		switch v := e.(type) {
+		case *ast.ParenExpr:
+			e = v.X
+			continue
+		case *ast.UnaryExpr:
+			if v.Op == token.AND {
+				e = v.X
+				continue
+			}
+		case *ast.StarExpr:
+			e = v.X
+			continue
+		}
+		break
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if v, ok := s.pass.TypesInfo.Uses[id].(*types.Var); ok {
+			if a, ok := s.aliases[v]; ok {
+				return a
+			}
+		}
+	}
+	return types.ExprString(e)
+}
+
+// block interprets a statement list, threading the held-lock state.
+func (s *mgScan) block(stmts []ast.Stmt, held mgState) mgState {
+	for _, st := range stmts {
+		held = s.stmt(st, held)
+	}
+	return held
+}
+
+func (s *mgScan) stmt(st ast.Stmt, held mgState) mgState {
+	switch v := st.(type) {
+	case *ast.ExprStmt:
+		if call, ok := v.X.(*ast.CallExpr); ok {
+			if id, op, ok := s.lockOp(call); ok {
+				if op.acquire {
+					held[id] |= op.mode
+				} else {
+					held[id] &^= op.mode
+					if held[id] == 0 {
+						delete(held, id)
+					}
+				}
+				return held
+			}
+		}
+		s.reads(v.X, held)
+	case *ast.AssignStmt:
+		for _, rhs := range v.Rhs {
+			s.reads(rhs, held)
+		}
+		s.recordAliases(v)
+		for _, lhs := range v.Lhs {
+			if sel, ok := lhs.(*ast.SelectorExpr); ok {
+				s.access(sel, held, true)
+				s.reads(sel.X, held)
+				continue
+			}
+			if _, ok := lhs.(*ast.Ident); ok {
+				continue
+			}
+			s.reads(lhs, held)
+		}
+	case *ast.IncDecStmt:
+		if sel, ok := v.X.(*ast.SelectorExpr); ok {
+			s.access(sel, held, true)
+			s.reads(sel.X, held)
+		} else {
+			s.reads(v.X, held)
+		}
+	case *ast.DeferStmt:
+		if _, op, ok := s.lockOp(v.Call); ok && !op.acquire {
+			// defer mu.Unlock(): the lock is held to function exit.
+			return held
+		}
+		if fl, ok := v.Call.Fun.(*ast.FuncLit); ok {
+			s.block(fl.Body.List, mgState{})
+		} else {
+			s.reads(v.Call, held)
+		}
+	case *ast.GoStmt:
+		for _, arg := range v.Call.Args {
+			s.reads(arg, held)
+		}
+		if fl, ok := v.Call.Fun.(*ast.FuncLit); ok {
+			// The spawned goroutine does not inherit the creator's locks.
+			s.block(fl.Body.List, mgState{})
+		}
+	case *ast.ReturnStmt:
+		for _, r := range v.Results {
+			s.reads(r, held)
+		}
+	case *ast.IfStmt:
+		if v.Init != nil {
+			held = s.stmt(v.Init, held)
+		}
+		s.reads(v.Cond, held)
+		then := s.block(v.Body.List, held.clone())
+		els := held.clone()
+		if v.Else != nil {
+			els = s.stmt(v.Else, els)
+		}
+		return mgIntersect(then, els)
+	case *ast.BlockStmt:
+		return s.block(v.List, held)
+	case *ast.ForStmt:
+		if v.Init != nil {
+			held = s.stmt(v.Init, held)
+		}
+		if v.Cond != nil {
+			s.reads(v.Cond, held)
+		}
+		body := held.clone()
+		if v.Post != nil {
+			body = s.stmt(v.Post, body)
+		}
+		s.block(v.Body.List, body)
+	case *ast.RangeStmt:
+		s.reads(v.X, held)
+		s.block(v.Body.List, held.clone())
+	case *ast.SwitchStmt:
+		if v.Init != nil {
+			held = s.stmt(v.Init, held)
+		}
+		if v.Tag != nil {
+			s.reads(v.Tag, held)
+		}
+		for _, c := range v.Body.List {
+			cc := c.(*ast.CaseClause)
+			for _, e := range cc.List {
+				s.reads(e, held)
+			}
+			s.block(cc.Body, held.clone())
+		}
+	case *ast.TypeSwitchStmt:
+		if v.Init != nil {
+			held = s.stmt(v.Init, held)
+		}
+		for _, c := range v.Body.List {
+			s.block(c.(*ast.CaseClause).Body, held.clone())
+		}
+	case *ast.SelectStmt:
+		for _, c := range v.Body.List {
+			cc := c.(*ast.CommClause)
+			if cc.Comm != nil {
+				s.stmt(cc.Comm, held.clone())
+			}
+			s.block(cc.Body, held.clone())
+		}
+	case *ast.LabeledStmt:
+		return s.stmt(v.Stmt, held)
+	case *ast.SendStmt:
+		s.reads(v.Chan, held)
+		s.reads(v.Value, held)
+	case *ast.DeclStmt:
+		if gd, ok := v.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, val := range vs.Values {
+						s.reads(val, held)
+					}
+				}
+			}
+		}
+	}
+	return held
+}
+
+// lockOp recognizes a (R)Lock/(R)Unlock call, returning the canonical
+// identity of its receiver.
+func (s *mgScan) lockOp(call *ast.CallExpr) (string, mgOp, bool) {
+	fn := staticCallee(s.pass.TypesInfo, call)
+	if fn == nil {
+		return "", mgOp{}, false
+	}
+	op, ok := mgLockOps[fn.FullName()]
+	if !ok {
+		return "", mgOp{}, false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", mgOp{}, false
+	}
+	return s.canon(sel.X), op, true
+}
+
+// recordAliases tracks `mu := &n.snapMu`-style bindings so later
+// mu.Lock() calls resolve to the canonical lock identity.
+func (s *mgScan) recordAliases(as *ast.AssignStmt) {
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, lhs := range as.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		var v *types.Var
+		if as.Tok == token.DEFINE {
+			v, _ = s.pass.TypesInfo.Defs[id].(*types.Var)
+		} else {
+			v, _ = s.pass.TypesInfo.Uses[id].(*types.Var)
+		}
+		if v == nil || !s.mutexType(v.Type()) {
+			continue
+		}
+		rhs := as.Rhs[i]
+		if u, ok := rhs.(*ast.UnaryExpr); ok && u.Op == token.AND {
+			rhs = u.X
+		}
+		if sel, ok := rhs.(*ast.SelectorExpr); ok {
+			s.aliases[v] = types.ExprString(sel)
+		}
+	}
+}
+
+func (s *mgScan) mutexType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	switch t.String() {
+	case "sync.Mutex", "sync.RWMutex":
+		return true
+	}
+	return false
+}
+
+// reads scans an expression for guarded-field accesses in read position.
+// Address-of a guarded field is treated as a write: the escaping pointer
+// can be dereferenced after the critical section ends.
+func (s *mgScan) reads(e ast.Expr, held mgState) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.FuncLit:
+			s.block(v.Body.List, mgState{})
+			return false
+		case *ast.UnaryExpr:
+			if v.Op == token.AND {
+				if sel, ok := v.X.(*ast.SelectorExpr); ok && s.guardOf(sel) != "" {
+					s.access(sel, held, true)
+					s.reads(sel.X, held)
+					return false
+				}
+			}
+		case *ast.SelectorExpr:
+			s.access(v, held, false)
+		}
+		return true
+	})
+}
+
+// access checks one guarded-field selector against the held-lock state.
+func (s *mgScan) access(selExpr *ast.SelectorExpr, held mgState, write bool) {
+	guard := s.guardOf(selExpr)
+	if guard == "" {
+		return
+	}
+	id := s.canon(selExpr.X) + "." + guard
+	mode := held[id]
+	if write {
+		if mode&mgExcl == 0 {
+			s.pass.Report(selExpr.Pos(),
+				"write to %s outside its critical section: field is //halvet:guardedby %s but %s is not held exclusively",
+				types.ExprString(selExpr), guard, id)
+		}
+		return
+	}
+	if mode == 0 {
+		s.pass.Report(selExpr.Pos(),
+			"read of %s outside its critical section: field is //halvet:guardedby %s but %s is not held",
+			types.ExprString(selExpr), guard, id)
+	}
+}

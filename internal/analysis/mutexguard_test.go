@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestMutexGuardFixture(t *testing.T) {
+	runFixture(t, MutexGuard, "mutexguard")
+}

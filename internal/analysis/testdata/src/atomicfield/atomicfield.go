@@ -1,0 +1,69 @@
+// Package fixture exercises halvet-atomicfield: any field or package
+// variable touched through sync/atomic must be accessed atomically at
+// every site, and typed atomic wrappers must not be copied or reassigned.
+package fixture
+
+import "sync/atomic"
+
+type ring struct {
+	head uint64
+	tail uint64
+	ctr  atomic.Int64
+	mask uint64 // never touched atomically: plain access is fine
+}
+
+var seq uint64
+
+// These put head, tail, and seq into the atomic set.
+func (r *ring) push()     { atomic.AddUint64(&r.head, 1) }
+func (r *ring) retire()   { atomic.StoreUint64(&r.tail, atomic.LoadUint64(&r.tail)+1) }
+func nextSeq() uint64     { return atomic.AddUint64(&seq, 1) }
+func (r *ring) cap() uint64 { return r.mask + 1 }
+
+// True positive: plain read of an atomically-written field.
+func (r *ring) size() uint64 {
+	return r.head - atomic.LoadUint64(&r.tail) // want `plain access of r\.head`
+}
+
+// True positive: plain write mixed with atomic access.
+func (r *ring) reset() {
+	r.tail = 0 // want `plain access of r\.tail`
+}
+
+// True positive: plain read of an atomic package variable.
+func peekSeq() uint64 {
+	return seq // want `plain access of seq`
+}
+
+// True positive: the address escaping outside sync/atomic can be
+// dereferenced plainly anywhere.
+func leakSeq() *uint64 {
+	return &seq // want `escaping address of seq`
+}
+
+// Negative: locals are single-goroutine; atomics on them (as in the fib
+// reduction counters) do not create obligations.
+func localCounter() uint64 {
+	var n uint64
+	atomic.AddUint64(&n, 1)
+	n++
+	return n
+}
+
+// Negative: typed wrappers used through their methods.
+func (r *ring) count() int64 { return r.ctr.Load() }
+func (r *ring) bumpCtr()     { r.ctr.Add(1) }
+
+// Negative: taking the wrapper's address keeps it in the protocol.
+func (r *ring) ctrRef() *atomic.Int64 { return &r.ctr }
+
+// True positive: returning the wrapper by value copies the word out of
+// the atomic protocol.
+func (r *ring) snapshot() atomic.Int64 {
+	return r.ctr // want `atomic wrapper type atomic\.Int64`
+}
+
+// True positive: reassigning the wrapper clobbers it non-atomically.
+func (r *ring) clobber(v *atomic.Int64) {
+	r.ctr = *v // want `atomic wrapper type atomic\.Int64`
+}

@@ -17,6 +17,9 @@ const (
 	hPoll
 	hUrgent
 	hDone
+	hRLocker
+	hDrain
+	hDrainPoll
 )
 
 // install mirrors the kernel's reg wrapper: any argument in a parameter
@@ -79,5 +82,41 @@ func registerDone(done chan struct{}) {
 	install(hDone, func(ep *amnet.Endpoint, p amnet.Packet) {
 		//halvet:allowblock fixture: done is buffered and drained by the caller
 		done <- struct{}{}
+	})
+}
+
+var rwmu sync.RWMutex
+
+// True positive: RLocker's Locker parks like RLock, but the Lock call
+// goes through interface dispatch the static graph cannot see — the
+// acquisition site is what gets flagged.
+func registerRLocker() {
+	install(hRLocker, func(ep *amnet.Endpoint, p amnet.Packet) { // want `sync\.RWMutex\.RLocker yields a Locker whose Lock parks like RLock`
+		l := rwmu.RLocker()
+		l.Lock()
+		defer l.Unlock()
+		events = append(events, p.U0)
+	})
+}
+
+// True positive: the Stop-then-drain idiom.  Stop does not send on C, so
+// a timer stopped before firing leaves the bare drain parked forever.
+func registerDrain(t *time.Timer) {
+	install(hDrain, func(ep *amnet.Endpoint, p amnet.Packet) { // want `\(\*time\.Timer\)\.C drain receive parks forever if the timer was stopped before firing`
+		if !t.Stop() {
+			<-t.C
+		}
+	})
+}
+
+// Negative: draining through a select+default poll cannot park.
+func registerDrainPoll(t *time.Timer) {
+	install(hDrainPoll, func(ep *amnet.Endpoint, p amnet.Packet) {
+		if !t.Stop() {
+			select {
+			case <-t.C:
+			default:
+			}
+		}
 	})
 }

@@ -1,0 +1,107 @@
+// Package fixture exercises halvet-mutexguard: fields declared
+// //halvet:guardedby <mutexField> may only be accessed inside a critical
+// section of that mutex (exclusively, for writes).
+package fixture
+
+import "sync"
+
+type counterBox struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+
+	hits uint64  //halvet:guardedby mu
+	rate float64 //halvet:guardedby rw
+	name string  // unguarded
+}
+
+// Negative: the canonical lock/defer-unlock read.
+func (b *counterBox) Hits() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.hits
+}
+
+// Negative: paired lock/unlock write.
+func (b *counterBox) bump() {
+	b.mu.Lock()
+	b.hits++
+	b.mu.Unlock()
+}
+
+// Negative: guarded access through a local alias of the mutex.
+func (b *counterBox) bumpAliased() {
+	mu := &b.mu
+	mu.Lock()
+	b.hits++
+	mu.Unlock()
+}
+
+// True positive: bare read.
+func (b *counterBox) peek() uint64 {
+	return b.hits // want `read of b\.hits outside its critical section`
+}
+
+// True positive: the critical section ended one statement too early.
+func (b *counterBox) late() {
+	b.mu.Lock()
+	b.hits = 0
+	b.mu.Unlock()
+	b.hits = 1 // want `write to b\.hits outside its critical section`
+}
+
+// True positive: RLock confers read permission only.
+func (b *counterBox) rlockWrite() float64 {
+	b.rw.RLock()
+	defer b.rw.RUnlock()
+	b.rate += 1 // want `write to b\.rate outside its critical section`
+	return b.rate
+}
+
+// Negative: shared read, exclusive write.
+func (b *counterBox) rwOK() float64 {
+	b.rw.RLock()
+	r := b.rate
+	b.rw.RUnlock()
+	b.rw.Lock()
+	b.rate = 0
+	b.rw.Unlock()
+	return r
+}
+
+// True positive: a lock acquired on only one branch is not held after the
+// join.
+func (b *counterBox) branchy(c bool) {
+	if c {
+		b.mu.Lock()
+	}
+	b.hits++ // want `write to b\.hits outside its critical section`
+	if c {
+		b.mu.Unlock()
+	}
+}
+
+// True positive: a spawned goroutine does not inherit its creator's locks.
+func (b *counterBox) spawn() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	go func() {
+		b.hits++ // want `write to b\.hits outside its critical section`
+	}()
+}
+
+// True positive: an escaping address outlives any critical section.
+func (b *counterBox) addr() *uint64 {
+	return &b.hits // want `write to b\.hits outside its critical section`
+}
+
+// Negative: unguarded fields are free.
+func (b *counterBox) nameOK() string { return b.name }
+
+// Declaration error: the named guard must be a sibling mutex field.
+type badBox struct {
+	timer int
+	//halvet:guardedby timer
+	v int // want `timer is not a sibling sync\.Mutex or sync\.RWMutex field`
+}
+
+func (b *badBox) use() int { return b.v + b.timer }

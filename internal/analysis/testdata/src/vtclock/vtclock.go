@@ -1,0 +1,55 @@
+// Package fixture exercises halvet-vtclock: wall-clock operations in a
+// VT-governed package require a //halvet:allowwallclock justification.
+// The fixture opts in with the file-level directive below, standing in
+// for the kernel packages the rule matches by import path.
+//
+//halvet:vtgoverned
+package fixture
+
+import "time"
+
+// True positive: bare wall-clock read.
+func stamp() int64 {
+	return time.Now().UnixNano() // want `wall-clock time\.Now in a VT-governed package`
+}
+
+// True positive: host-time timer construction.
+func tick() bool {
+	t := time.NewTimer(time.Millisecond) // want `wall-clock time\.NewTimer in a VT-governed package`
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	default:
+		return false
+	}
+}
+
+// True positive: parking on host time.
+func nap() {
+	time.Sleep(time.Microsecond) // want `wall-clock time\.Sleep in a VT-governed package`
+}
+
+// Negative: statement-level annotation sanctions one site.
+func paced() {
+	//halvet:allowwallclock fixture: host pacing is sanctioned here
+	time.Sleep(time.Microsecond)
+}
+
+// Negative: function-level annotation sanctions an instrument, the
+// hist-observe pattern.
+//
+//halvet:allowwallclock fixture: latency instruments observe host microseconds by design
+func observe() time.Duration {
+	start := time.Now()
+	return time.Since(start)
+}
+
+// Negative: carrying durations and time values is fine — the ban is on
+// minting host-clock observations, not on arithmetic.
+func budget(d time.Duration, deadline time.Time) time.Duration {
+	if deadline.IsZero() {
+		return d * 2
+	}
+	return d / 2
+}

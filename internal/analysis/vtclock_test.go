@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestVTClockFixture(t *testing.T) {
+	runFixture(t, VTClock, "vtclock")
+}

@@ -26,6 +26,8 @@ import (
 
 // sendSteal issues one steal request if none is outstanding and the
 // backoff window has elapsed.
+//
+//halvet:allowwallclock steal-poll backoff and the stealSent escalation clock pace on host time: the polling PE is idle, so its VT is frozen
 func (n *node) sendSteal() {
 	if len(n.m.nodes) < 2 {
 		return
@@ -67,6 +69,7 @@ func (n *node) handleStealGrant(rec *spawnRecord) {
 	n.nextSteal = time.Time{}
 	n.stats.StealHits++
 	if !n.stealSent.IsZero() {
+		//halvet:allowwallclock StealWait is a host-microsecond latency histogram (observability plane, not simulation state)
 		n.stats.StealWait.Observe(float64(time.Since(n.stealSent)) / 1e3)
 	}
 	n.trace(EvStealHit, rec.alias, rec.alias.Birth)
@@ -81,5 +84,6 @@ func (n *node) handleStealDeny(vt float64) {
 	_ = vt
 	n.stealOut = false
 	n.stats.StealMisses++
+	//halvet:allowwallclock steal backoff paces on host time; the denied thief is idle and its VT is frozen
 	n.nextSteal = time.Now().Add(n.stealBackoff)
 }

@@ -260,6 +260,7 @@ func (n *node) applyCacheUpdate(addr Addr, node amnet.NodeID, rseq uint64) {
 		if ld.FIRSent {
 			// Repair round trip: from the FIR leaving to the descriptor
 			// learning the actor's location (whichever update lands first).
+			//halvet:allowwallclock FIRRepair is a host-microsecond latency histogram (observability plane, not simulation state)
 			n.stats.FIRRepair.Observe(float64(time.Now().UnixNano()-ld.FIRSentAt) / 1e3)
 		}
 		ld.FIRSent = false
@@ -282,6 +283,7 @@ func (n *node) maybeSendFIR(ld *names.LD, addr Addr) {
 		return
 	}
 	ld.FIRSent = true
+	//halvet:allowwallclock FIRSentAt anchors the FIRRepair host-latency histogram, not any simulation decision
 	ld.FIRSentAt = time.Now().UnixNano()
 	n.stats.FIRSent++
 	n.trace(EvFIRSent, addr, ld.RNode)

@@ -240,6 +240,8 @@ func (m *Machine) stopped() bool {
 // monitor detects stalls: live work remaining while every node is parked,
 // no packets are queued, and no progress happens across two consecutive
 // checks.
+//
+//halvet:allowwallclock the stall watchdog needs a clock that keeps ticking precisely when VT does not — a wedged machine makes no virtual progress to observe
 func (m *Machine) monitor(stop <-chan struct{}, done <-chan struct{}) {
 	if m.cfg.StallTimeout < 0 {
 		return

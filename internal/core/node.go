@@ -79,7 +79,7 @@ type node struct {
 	// — never from a handler — so the mutex stays off the hot paths and
 	// every published snapshot is internally consistent.
 	snapMu sync.Mutex
-	snap   NodeStats
+	snap   NodeStats //halvet:guardedby snapMu
 
 	// sink receives streamed trace events (Config.TraceSink), nil when
 	// streaming is off.
@@ -233,6 +233,7 @@ func (n *node) idle() {
 	}
 	polling := n.m.cfg.LoadBalance && n.m.live.Load() > 0 && n.spawnq.Empty()
 	if polling {
+		//halvet:allowwallclock lost-steal watchdog: an idle PE's VT is frozen, so fault recovery must pace on the host clock
 		if n.stealOut && n.m.relOn && !n.stealSent.IsZero() && time.Since(n.stealSent) > n.m.cfg.RetryMax*8 {
 			// The request or its grant exceeded any plausible recovery
 			// time (lost victim escalation, or a grant dead-lettered on
@@ -266,6 +267,7 @@ func (n *node) drainAndExit() {
 	for n.m.draining.Load() < total {
 		for n.ep.PollDiscard() {
 		}
+		//halvet:allowwallclock shutdown drain pacing: VT has already halted at drain; the microsleep only throttles the discard loop
 		time.Sleep(10 * time.Microsecond)
 	}
 	for n.ep.PollDiscard() {

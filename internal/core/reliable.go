@@ -167,7 +167,8 @@ func (n *node) sendCtlUnits(p amnet.Packet, unit relUnit, extra []relUnit) {
 	p.Seq = r.nextSeq[p.Dst]
 	base := n.m.cfg.RetryBase
 	r.pending[relKey{dst: p.Dst, seq: p.Seq}] = &relEntry{
-		pkt:      p,
+		pkt: p,
+		//halvet:allowwallclock retransmit timers model host-time recovery, not simulated cost; the sender's VT does not advance while it waits
 		due:      time.Now().Add(base),
 		interval: base,
 		unit:     unit,
@@ -191,6 +192,8 @@ func (n *node) handleCtlAck(src amnet.NodeID, seq uint64) {
 // ones whose budget ran out.  Called from the node main loop; reentrant
 // acks during ep.Send mutate the map mid-range, which Go's map
 // iteration semantics permit.
+//
+//halvet:allowwallclock retransmit due-dates pace on the host clock: retries recover from injected faults, which are invisible to (and frozen in) VT
 func (n *node) pumpRetries() {
 	now := time.Now()
 	budget := n.m.cfg.RetryBudget
@@ -229,6 +232,7 @@ func (n *node) escalate(e *relEntry) {
 	case hStealReq:
 		// The poll is void; let the thief pick a new victim.
 		n.stealOut = false
+		//halvet:allowwallclock steal backoff paces on host time; the idle thief's VT is frozen
 		n.nextSteal = time.Now().Add(n.stealBackoff)
 	case hFIR:
 		// The chain is unreachable; declare the messages held HERE dead.
