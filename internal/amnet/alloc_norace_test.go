@@ -1,0 +1,7 @@
+//go:build !race
+
+package amnet
+
+// raceEnabled reports whether the race detector is compiled in; its
+// instrumentation allocates, so allocation guards are skipped.
+const raceEnabled = false

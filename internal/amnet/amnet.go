@@ -4,10 +4,13 @@
 // A Network connects P endpoints, one per simulated processing element
 // (PE).  Each PE is driven by exactly one goroutine — the node kernel loop —
 // which is the only goroutine allowed to touch that endpoint's receive side.
-// The interconnect is a set of bounded channels, one inbox per endpoint,
-// giving FIFO delivery per (sender, receiver) pair and finite network
-// capacity: when a destination inbox is full the sender stalls, exactly the
-// back-pressure that motivates the paper's minimal flow control.
+// The interconnect is a set of bounded lock-free MPSC rings (ring.go), one
+// inbox per endpoint, giving FIFO delivery per (sender, receiver) pair and
+// finite network capacity: when a destination inbox is full the sender
+// stalls, exactly the back-pressure that motivates the paper's minimal
+// flow control.  Capacity is tracked by an atomic packet-token counter
+// (reserve/release), so the ring itself never fills and a push after a
+// successful reservation is wait-free aside from the slot-claim CAS.
 //
 // As in CMAM, a message names a handler which runs to completion on the
 // receiving PE when the network is polled; handlers must never block.  Also
@@ -183,10 +186,11 @@ func NewNetwork(cfg Config) (*Network, error) {
 		nw.eps[i] = &Endpoint{
 			id:        NodeID(i),
 			net:       nw,
-			inbox:     make(chan qItem, cfg.InboxCap),
 			spaceWake: make(chan struct{}, 1),
+			recvWake:  make(chan struct{}, 1),
 			out:       make([]outBuf, cfg.Nodes),
 		}
+		nw.eps[i].ring.init(cfg.InboxCap)
 		nw.eps[i].bulk.init(nw.eps[i])
 		if cfg.Faults != nil {
 			nw.eps[i].faults = newEPFaults(cfg.Faults, cfg.Nodes, NodeID(i))
@@ -269,23 +273,42 @@ type outBuf struct {
 // (PollOne, PollAll, RecvBlock) and all Send calls must come from the
 // single goroutine that owns the node.
 type Endpoint struct {
-	id    NodeID
-	net   *Network
-	inbox chan qItem
+	id  NodeID
+	net *Network
+
+	// ring is the lock-free MPSC inbox (ring.go).  Producers are remote
+	// senders holding reserved inq tokens; the sole consumer is this
+	// endpoint's owning goroutine.  Its cursors carry their own padding.
+	ring mpscRing
+
 	// inq counts packets logically occupying the inbox (a batch counts
 	// as its packet count).  It is the capacity accounting: senders
-	// reserve tokens before the channel send, the receiver releases them
-	// at dequeue.  Items in the channel never exceed reserved tokens, so
-	// a channel send after a successful reserve cannot block.  Atomic
+	// reserve tokens before the ring push, the receiver releases them
+	// at dequeue.  Items in the ring never exceed reserved tokens, so a
+	// push after a successful reserve cannot find the ring full.  Atomic
 	// because senders on other goroutines reserve, and Machine.monitor
-	// reads Pending cross-goroutine.
-	inq atomic.Int64
-	// waiters counts senders blocked for inbox space; spaceWake is the
-	// wake-up baton they park on.  A releaser hands the baton only when
-	// a waiter is registered, and a waiter registers before re-checking
-	// capacity, so wake-ups cannot be lost.
-	waiters   atomic.Int32
+	// reads Pending cross-goroutine.  inq and waiters are the two words
+	// every producer to this endpoint hammers; they share one line with
+	// each other (they are updated together on the stall path) and with
+	// nothing else — the padding on both sides keeps producer CAS traffic
+	// off the consumer-owned fields below.
+	_       [64]byte
+	inq     atomic.Int64
+	waiters atomic.Int32
+	// rsleep flags that the consumer is parked (or about to park) on
+	// recvWake; producers signal the one-token recvWake channel only when
+	// they observe it set.  Written only by the consumer, read by
+	// producers; see ring.go's lost-wakeup argument.
+	rsleep atomic.Int32
+	_      [44]byte
+
+	// spaceWake is the wake-up baton senders park on when the inbox is
+	// full (the full↔space edge); waiters counts them.  A releaser hands
+	// the baton only when a waiter is registered, and a waiter registers
+	// before re-checking capacity, so wake-ups cannot be lost.
 	spaceWake chan struct{}
+	// recvWake is the empty↔non-empty edge: the consumer's park channel.
+	recvWake chan struct{}
 
 	// Send-side coalescing state (owned by the endpoint's goroutine).
 	out       []outBuf
@@ -346,6 +369,40 @@ func (ep *Endpoint) release(k int64) {
 	}
 }
 
+// enqueue publishes q into this endpoint's inbox ring and wakes the
+// consumer if it is parked.  Callers must hold reserved inq tokens for
+// every packet q carries.
+func (ep *Endpoint) enqueue(q qItem) {
+	ep.ring.push(q)
+	if ep.rsleep.Load() != 0 {
+		select {
+		case ep.recvWake <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// parkRecvOrSpace blocks until either a packet is published into this
+// endpoint's ring or dst releases inbox space.  The rsleep flag is set
+// before the final emptiness re-check (check-then-block, mirroring
+// reserveBounded's lost-wakeup fix) so a producer publishing between the
+// re-check and the select is guaranteed to see the flag and signal
+// recvWake.
+//
+//halvet:allowblock bounded by the CMAM cycle argument: the caller loops draining its own inbox, and either wake source ends this one wait
+func (ep *Endpoint) parkRecvOrSpace(dst *Endpoint) {
+	ep.rsleep.Store(1)
+	if !ep.ring.empty() {
+		ep.rsleep.Store(0)
+		return
+	}
+	select {
+	case <-dst.spaceWake:
+	case <-ep.recvWake:
+	}
+	ep.rsleep.Store(0)
+}
+
 // reserveOrStall claims k tokens of dst capacity, blocking until they are
 // available.  While waiting below the recursion limit the sender polls its
 // own inbox (the CMAM discipline), so handlers may run reentrantly.
@@ -358,9 +415,7 @@ func (ep *Endpoint) release(k int64) {
 // only used for single-token claims, which cannot starve (every release
 // wakes a waiter and any one token satisfies the claim).
 //
-//halvet:allowblock the CMAM poll-while-stalled discipline: the stall loop
-// drains this endpoint's own inbox (or, at depth, relies on the cycle
-// argument above), so a handler reaching this wait still makes progress.
+//halvet:allowblock the CMAM poll-while-stalled discipline: the stall loop drains this endpoint's own inbox (or, at depth, relies on the cycle argument above), so a handler reaching this wait still makes progress
 func (ep *Endpoint) reserveOrStall(dst *Endpoint, k int64) {
 	if dst.reserve(k) {
 		return
@@ -377,14 +432,14 @@ func (ep *Endpoint) reserveOrStall(dst *Endpoint, k int64) {
 			<-dst.spaceWake
 			continue
 		}
-		select {
-		case <-dst.spaceWake:
-		case q := <-ep.inbox:
+		if q, ok := ep.ring.pop(); ok {
 			// The drain runs the fault filter too, but ignores pause
 			// windows: a paused node that refused to drain while blocked
 			// on a full link could deadlock against its peer.
 			ep.consume(q)
+			continue
 		}
+		ep.parkRecvOrSpace(dst)
 	}
 	dst.waiters.Add(-1)
 	if dst.waiters.Load() > 0 {
@@ -412,9 +467,8 @@ func (ep *Endpoint) sendStamped(p Packet) {
 	ep.stats.Sent++
 	ep.reserveOrStall(dst, 1)
 	// Tokens are released only when the receiver dequeues the item, so a
-	// successful reservation guarantees channel room.
-	//halvet:allowblock cannot block: reserveOrStall claimed 1 capacity token
-	dst.inbox <- qItem{pkt: p}
+	// successful reservation guarantees a free ring slot.
+	dst.enqueue(qItem{pkt: p})
 }
 
 // SendBatched injects p like Send, but may coalesce it with other packets
@@ -558,8 +612,7 @@ func (ep *Endpoint) injectBatch(dst NodeID, buf *[]Packet) {
 		ep.stats.Sent += uint64(k)
 		ep.stats.Batches++
 		ep.stats.BatchedPkts += uint64(k)
-		//halvet:allowblock cannot block: reserveBounded claimed all k tokens for this batch
-		d.inbox <- qItem{batch: buf}
+		d.enqueue(qItem{batch: buf})
 		return
 	}
 	ep.stats.BatchSplits++
@@ -574,9 +627,7 @@ func (ep *Endpoint) injectBatch(dst NodeID, buf *[]Packet) {
 // succeeded.  Single-token callers should use reserveOrStall, which never
 // fails.
 //
-//halvet:allowblock the CMAM poll-while-stalled discipline with a bounded
-// round count: each wait ends at the next capacity release, and the caller
-// falls back to per-packet injection when the rounds run out.
+//halvet:allowblock the CMAM poll-while-stalled discipline with a bounded round count: each wait ends at the next capacity release, and the caller falls back to per-packet injection when the rounds run out
 func (ep *Endpoint) reserveBounded(dst *Endpoint, k int64, rounds int) bool {
 	if dst.reserve(k) {
 		return true
@@ -594,12 +645,10 @@ func (ep *Endpoint) reserveBounded(dst *Endpoint, k int64, rounds int) bool {
 			// Too deep to drain reentrantly; wait for a release outright
 			// (same cycle argument as reserveOrStall).
 			<-dst.spaceWake
+		} else if q, okq := ep.ring.pop(); okq {
+			ep.consume(q)
 		} else {
-			select {
-			case <-dst.spaceWake:
-			case q := <-ep.inbox:
-				ep.consume(q)
-			}
+			ep.parkRecvOrSpace(dst)
 		}
 		ok = dst.reserve(k)
 	}
@@ -645,8 +694,7 @@ func (ep *Endpoint) TrySend(p Packet) bool {
 		return false
 	}
 	ep.stats.Sent++
-	//halvet:allowblock cannot block: the reserve above claimed a capacity token
-	dst.inbox <- qItem{pkt: p}
+	dst.enqueue(qItem{pkt: p})
 	return true
 }
 
@@ -702,13 +750,11 @@ func (ep *Endpoint) PollOne() bool {
 	if f := ep.faults; f != nil && f.pausedNow(ep) {
 		return false
 	}
-	select {
-	case q := <-ep.inbox:
+	if q, ok := ep.ring.pop(); ok {
 		ep.consume(q)
 		return true
-	default:
-		return false
 	}
+	return false
 }
 
 // PollAll drains and handles every packet currently queued, returning the
@@ -727,10 +773,8 @@ func (ep *Endpoint) PollAll() int {
 		n += ep.drainDelayed()
 	}
 	for {
-		select {
-		case q := <-ep.inbox:
-			n += ep.consume(q)
-		default:
+		q, ok := ep.ring.pop()
+		if !ok {
 			if n > 0 {
 				ep.stats.Polls++
 			}
@@ -740,6 +784,7 @@ func (ep *Endpoint) PollAll() int {
 			ep.flushOut()
 			return n
 		}
+		n += ep.consume(q)
 	}
 }
 
@@ -772,25 +817,39 @@ func (ep *Endpoint) RecvBlock(stop <-chan struct{}, timeout time.Duration) bool 
 			return true
 		}
 	}
-	if timeout <= 0 {
-		select {
-		case q := <-ep.inbox:
-			ep.consume(q)
-			return true
-		case <-stop:
-			return false
-		}
-	}
-	t := time.NewTimer(timeout)
-	defer t.Stop()
-	select {
-	case q := <-ep.inbox:
+	if q, ok := ep.ring.pop(); ok {
 		ep.consume(q)
 		return true
-	case <-stop:
-		return false
-	case <-t.C:
-		return false
+	}
+	var timerC <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		timerC = t.C
+	}
+	for {
+		// Park protocol: declare the sleep, re-check, then block — a
+		// producer publishing after the re-check is guaranteed to see
+		// rsleep and hand over the recvWake token (ring.go).
+		ep.rsleep.Store(1)
+		if q, ok := ep.ring.pop(); ok {
+			ep.rsleep.Store(0)
+			ep.consume(q)
+			return true
+		}
+		select {
+		case <-ep.recvWake:
+			// A publish (or a stale token from an earlier race); loop and
+			// re-pop.  The timer keeps running, so the caller's timeout
+			// budget is shared across spurious wake-ups, not reset.
+			ep.rsleep.Store(0)
+		case <-stop:
+			ep.rsleep.Store(0)
+			return false
+		case <-timerC:
+			ep.rsleep.Store(0)
+			return false
+		}
 	}
 }
 
@@ -803,18 +862,17 @@ func (ep *Endpoint) Pending() int { return int(ep.inq.Load()) }
 // blocked injecting into this inbox can complete their sends and shut
 // down too.
 func (ep *Endpoint) PollDiscard() bool {
-	select {
-	case q := <-ep.inbox:
-		if q.batch != nil {
-			ep.release(int64(len(*q.batch)))
-			ep.net.freeBatch(q.batch)
-		} else {
-			ep.release(1)
-		}
-		return true
-	default:
+	q, ok := ep.ring.pop()
+	if !ok {
 		return false
 	}
+	if q.batch != nil {
+		ep.release(int64(len(*q.batch)))
+		ep.net.freeBatch(q.batch)
+	} else {
+		ep.release(1)
+	}
+	return true
 }
 
 // Stats counts endpoint traffic.  All fields are owned by the endpoint's

@@ -35,6 +35,11 @@
 //	    on a struct field declares which sibling mutex protects it
 //	    (mutexguard analyzer).  A declaration, not a suppression.
 //
+//	//halvet:mpsc <producer|consumer|init>
+//	    on a method declares which side of a lock-free MPSC ring it runs
+//	    on (ringowner analyzer).  A declaration, not a suppression: a
+//	    type with any annotated method must annotate all of them.
+//
 // Suppressions are themselves checked: the driver's staleness sweep
 // (StaleDirectives) reports any suppression comment that no longer
 // suppressed anything during the run — a stale annotation rots into

@@ -6,7 +6,7 @@ import (
 	"go/token"
 )
 
-// Suite returns the seven halvet analyzers in their canonical order.
+// Suite returns the eight halvet analyzers in their canonical order.
 func Suite() []*Analyzer {
 	return []*Analyzer{
 		HandlerNoBlock,
@@ -16,6 +16,7 @@ func Suite() []*Analyzer {
 		MutexGuard,
 		AtomicField,
 		VTClock,
+		RingOwner,
 	}
 }
 

@@ -1,0 +1,448 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// RingOwner enforces the ownership discipline of lock-free MPSC ring
+// types (amnet.mpscRing is the motivating instance).  The correctness of
+// such a ring rests on an asymmetric protocol the type system cannot
+// see: producers coordinate exclusively through atomic cursors and claim
+// slot elements for exactly one write per lap, while all plain mutable
+// state (the head cursor) belongs to the single consumer, and a slot
+// pointer is only meaningful between claim and publication.
+//
+// A struct opts in by annotating its methods:
+//
+//	//halvet:mpsc <role>    role = producer | consumer | init
+//
+// in the method's doc comment.  producer methods may run concurrently on
+// any goroutine; consumer methods run only on the structure's single
+// owner; init runs before the structure is shared.  Any type with at
+// least one annotated method is a ring type, and then:
+//
+//  1. every method must declare a role — the analyzer cannot reason
+//     about code that has not said which side of the ring it is;
+//  2. producer methods never WRITE a plain (non-atomic, non-slot)
+//     field, and never READ a plain field that a consumer method
+//     writes.  Plain fields written only during init (slots, mask) are
+//     frozen configuration and readable anywhere;
+//  3. no slot address — anything derived by indexing a slot-array
+//     field — escapes its method: not returned, not assigned to
+//     non-local memory, not passed as a call argument, not sent on a
+//     channel.  Publication (the slot's seq store) hands the slot to
+//     the consumer; a pointer that outlives the method outlives that
+//     handoff.
+//
+// Rule 2's read half is what makes the classic MPSC bug mechanical: a
+// producer consulting `head` to decide fullness compiles fine, usually
+// works, and tears exactly when the ring is contended enough to matter.
+var RingOwner = &Analyzer{
+	Name: "ringowner",
+	Doc:  "enforce //halvet:mpsc role annotations: MPSC ring plain state is consumer-owned and slot addresses never escape",
+	Run:  runRingOwner,
+}
+
+// roRoles are the recognized //halvet:mpsc annotations.
+var roRoles = map[string]bool{"producer": true, "consumer": true, "init": true}
+
+// roMethod is one method of a ring type.
+type roMethod struct {
+	decl *ast.FuncDecl
+	file *ast.File
+	role string // "" = unannotated
+}
+
+// roRing is one annotated ring type's analysis state.
+type roRing struct {
+	named   *types.Named
+	methods []roMethod
+	slot    map[*types.Var]bool // slice/array fields: slot storage
+	atomic  map[*types.Var]bool // sync/atomic wrapper fields: cursors
+	plain   map[*types.Var]bool // everything else: plain words
+	// consumerOwned is the subset of plain fields some consumer method
+	// writes; frozen configuration (written only in init) is excluded.
+	consumerOwned map[*types.Var]bool
+}
+
+func runRingOwner(pass *Pass) error {
+	rings := map[*types.Named]*roRing{}
+
+	// Phase A: find annotated methods; their receiver types become ring
+	// types.  Unannotated methods of those types are collected in phase B.
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			role, ok := roAnnotation(fd)
+			if !ok {
+				continue
+			}
+			named := roRecvNamed(pass, fd)
+			if named == nil {
+				pass.Report(fd.Pos(), "//halvet:mpsc on %s, which is not a method: ring roles annotate methods of the ring type", fd.Name.Name)
+				continue
+			}
+			if !roRoles[role] {
+				pass.Report(fd.Pos(), "unknown //halvet:mpsc role %q on %s (want producer, consumer, or init)", role, fd.Name.Name)
+				role = "" // still makes the receiver a ring type
+			}
+			r := rings[named]
+			if r == nil {
+				r = newRoRing(named)
+				rings[named] = r
+			}
+			r.methods = append(r.methods, roMethod{decl: fd, file: file, role: role})
+		}
+	}
+	if len(rings) == 0 {
+		return nil
+	}
+
+	// Phase B: sweep every method again to catch the unannotated ones.
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if _, annotated := roAnnotation(fd); annotated {
+				continue
+			}
+			named := roRecvNamed(pass, fd)
+			if named == nil {
+				continue
+			}
+			if r := rings[named]; r != nil {
+				r.methods = append(r.methods, roMethod{decl: fd, file: file})
+				pass.Report(fd.Pos(), "method %s of MPSC ring type %s lacks a //halvet:mpsc role (producer, consumer, or init)",
+					fd.Name.Name, named.Obj().Name())
+			}
+		}
+	}
+
+	for _, r := range rings {
+		// Plain fields written by a consumer method are consumer-owned.
+		for _, m := range r.methods {
+			if m.role != "consumer" {
+				continue
+			}
+			roEachFieldAccess(pass, m.decl, r, func(f *types.Var, write bool, pos token.Pos) {
+				if write && r.plain[f] {
+					r.consumerOwned[f] = true
+				}
+			})
+		}
+		for _, m := range r.methods {
+			r.checkMethod(pass, m)
+		}
+	}
+	return nil
+}
+
+func newRoRing(named *types.Named) *roRing {
+	r := &roRing{
+		named:         named,
+		slot:          map[*types.Var]bool{},
+		atomic:        map[*types.Var]bool{},
+		plain:         map[*types.Var]bool{},
+		consumerOwned: map[*types.Var]bool{},
+	}
+	if st, ok := named.Underlying().(*types.Struct); ok {
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if f.Name() == "_" {
+				continue
+			}
+			switch t := f.Type().Underlying().(type) {
+			case *types.Slice, *types.Array:
+				_ = t
+				r.slot[f] = true
+			default:
+				if roIsAtomic(f.Type()) {
+					r.atomic[f] = true
+				} else {
+					r.plain[f] = true
+				}
+			}
+		}
+	}
+	return r
+}
+
+// roAnnotation extracts the //halvet:mpsc role from a declaration's doc.
+func roAnnotation(fd *ast.FuncDecl) (role string, ok bool) {
+	if fd.Doc == nil {
+		return "", false
+	}
+	for _, c := range fd.Doc.List {
+		if rest, found := strings.CutPrefix(c.Text, "//halvet:mpsc"); found {
+			fields := strings.Fields(rest)
+			if len(fields) == 0 {
+				return "", true
+			}
+			return fields[0], true
+		}
+	}
+	return "", false
+}
+
+// roRecvNamed resolves a declaration's receiver to its named struct type.
+func roRecvNamed(pass *Pass, fd *ast.FuncDecl) *types.Named {
+	fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return nil
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return nil
+	}
+	t := recv.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	if named == nil || named.Obj().Pkg() != pass.Pkg {
+		return nil
+	}
+	if _, ok := named.Underlying().(*types.Struct); !ok {
+		return nil
+	}
+	return named
+}
+
+// roIsAtomic reports whether t is a sync/atomic wrapper type.
+func roIsAtomic(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	return pkg != nil && pkg.Path() == "sync/atomic"
+}
+
+// roField resolves a selector to a field of the ring type, if it is one.
+func (r *roRing) roField(pass *Pass, sel *ast.SelectorExpr) *types.Var {
+	f, ok := pass.TypesInfo.Selections[sel]
+	if !ok {
+		return nil
+	}
+	v, ok := f.Obj().(*types.Var)
+	if !ok || !v.IsField() {
+		return nil
+	}
+	t := f.Recv()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, _ := t.(*types.Named); named == nil || named.Obj() != r.named.Obj() {
+		return nil
+	}
+	if r.slot[v] || r.atomic[v] || r.plain[v] {
+		return v
+	}
+	return nil
+}
+
+// roEachFieldAccess visits every access to a ring field inside fd,
+// classifying it as read or write.  Taking a plain field's address
+// counts as a write (the pointer can do either).
+func roEachFieldAccess(pass *Pass, fd *ast.FuncDecl, r *roRing, visit func(f *types.Var, write bool, pos token.Pos)) {
+	if fd.Body == nil {
+		return
+	}
+	written := map[ast.Node]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range st.Lhs {
+				written[ast.Unparen(lhs)] = true
+			}
+		case *ast.IncDecStmt:
+			written[ast.Unparen(st.X)] = true
+		case *ast.UnaryExpr:
+			if st.Op == token.AND {
+				written[ast.Unparen(st.X)] = true
+			}
+		}
+		return true
+	})
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if f := r.roField(pass, sel); f != nil {
+			visit(f, written[sel], sel.Pos())
+		}
+		return true
+	})
+}
+
+// checkMethod applies the role rules to one method body.
+func (r *roRing) checkMethod(pass *Pass, m roMethod) {
+	if m.decl.Body == nil || m.role == "" {
+		return
+	}
+	name := m.decl.Name.Name
+	typeName := r.named.Obj().Name()
+
+	if m.role == "producer" {
+		roEachFieldAccess(pass, m.decl, r, func(f *types.Var, write bool, pos token.Pos) {
+			if !r.plain[f] {
+				return
+			}
+			switch {
+			case write:
+				pass.Report(pos, "producer method %s writes plain field %s.%s; producers may only touch atomic cursors and claimed slot elements",
+					name, typeName, f.Name())
+			case r.consumerOwned[f]:
+				pass.Report(pos, "producer method %s reads consumer-owned field %s.%s (a consumer method writes it); producers must coordinate through atomics only",
+					name, typeName, f.Name())
+			}
+		})
+	}
+	r.checkEscapes(pass, m)
+}
+
+// checkEscapes flags slot addresses that outlive the method (rule 3).
+func (r *roRing) checkEscapes(pass *Pass, m roMethod) {
+	body := m.decl.Body
+
+	// derived is the set of local variables holding a slot address,
+	// grown to a fixed point so chains of aliases are tracked.
+	derived := map[types.Object]bool{}
+	isSlotIndex := func(e ast.Expr) bool {
+		ix, ok := ast.Unparen(e).(*ast.IndexExpr)
+		if !ok {
+			return false
+		}
+		sel, ok := ast.Unparen(ix.X).(*ast.SelectorExpr)
+		if !ok {
+			return false
+		}
+		f := r.roField(pass, sel)
+		return f != nil && r.slot[f]
+	}
+	// slotPtr reports whether e evaluates to a slot address: &slots[i],
+	// &slots[i].field, an alias local, or a selector through either.
+	// Only pointer-typed expressions qualify — a value copy of a slot
+	// field (q := slot.item) leaves the slot's memory behind and is the
+	// intended way data crosses the ownership boundary.
+	var slotPtr func(e ast.Expr) bool
+	slotPtr = func(e ast.Expr) bool {
+		t := pass.TypesInfo.TypeOf(e)
+		if t == nil {
+			return false
+		}
+		if _, ok := t.Underlying().(*types.Pointer); !ok {
+			return false
+		}
+		switch e := ast.Unparen(e).(type) {
+		case *ast.UnaryExpr:
+			if e.Op != token.AND {
+				return false
+			}
+			x := ast.Unparen(e.X)
+			for {
+				if sel, ok := x.(*ast.SelectorExpr); ok {
+					x = ast.Unparen(sel.X)
+					continue
+				}
+				break
+			}
+			return isSlotIndex(x) || slotPtr(x)
+		case *ast.Ident:
+			return derived[pass.TypesInfo.Uses[e]]
+		case *ast.SelectorExpr:
+			return slotPtr(e.X)
+		}
+		return false
+	}
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				if i >= len(as.Rhs) {
+					break
+				}
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok || !slotPtr(as.Rhs[i]) {
+					continue
+				}
+				obj := pass.TypesInfo.Defs[id]
+				if obj == nil {
+					obj = pass.TypesInfo.Uses[id]
+				}
+				if obj != nil && !derived[obj] {
+					derived[obj] = true
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+
+	escape := func(pos token.Pos, how string) {
+		pass.Report(pos, "slot address escapes %s via %s; a slot belongs to the consumer after publication and its pointer must not outlive the method",
+			m.decl.Name.Name, how)
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.ReturnStmt:
+			for _, res := range st.Results {
+				if slotPtr(res) {
+					escape(res.Pos(), "return")
+				}
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range st.Lhs {
+				if i >= len(st.Rhs) || !slotPtr(st.Rhs[i]) {
+					continue
+				}
+				// Defining or overwriting a plain local is tracking, not
+				// escaping; anything else (field, index, deref, global)
+				// stores the pointer into memory that outlives the frame.
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+					if obj := pass.TypesInfo.Defs[id]; obj != nil {
+						continue // new local
+					}
+					v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+					if ok && v.Parent() != pass.Pkg.Scope() && !v.IsField() {
+						continue // existing local
+					}
+				}
+				escape(st.Rhs[i].Pos(), "assignment")
+			}
+		case *ast.CallExpr:
+			for _, arg := range st.Args {
+				if slotPtr(arg) {
+					escape(arg.Pos(), "call argument")
+				}
+			}
+		case *ast.SendStmt:
+			if slotPtr(st.Value) {
+				escape(st.Value.Pos(), "channel send")
+			}
+		case *ast.CompositeLit:
+			for _, el := range st.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					el = kv.Value
+				}
+				if slotPtr(el) {
+					escape(el.Pos(), "composite literal")
+				}
+			}
+		}
+		return true
+	})
+}

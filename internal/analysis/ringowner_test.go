@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestRingOwnerFixture(t *testing.T) {
+	runFixture(t, RingOwner, "ringowner")
+}

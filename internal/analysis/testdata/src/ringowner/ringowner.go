@@ -1,0 +1,118 @@
+// Package fixture exercises halvet-ringowner: types with
+// //halvet:mpsc-annotated methods must keep plain state consumer-owned
+// and never let slot addresses escape.
+package fixture
+
+import "sync/atomic"
+
+type cell struct {
+	seq atomic.Uint64
+	val int
+}
+
+type ring struct {
+	slots []cell
+	mask  uint64
+	tail  atomic.Uint64
+	head  uint64
+}
+
+var leaked *cell
+
+// Negative: init may write every field and index slots freely.
+//
+//halvet:mpsc init
+func (r *ring) init(n int) {
+	r.slots = make([]cell, n)
+	r.mask = uint64(n - 1)
+	for i := range r.slots {
+		r.slots[i].seq.Store(uint64(i))
+	}
+	r.tail.Store(0)
+	r.head = 0
+}
+
+// Negative: the canonical push — atomic cursor, frozen-config reads
+// (mask, slots), a local slot alias, the publish store.
+//
+//halvet:mpsc producer
+func (r *ring) push(v int) {
+	pos := r.tail.Load()
+	for {
+		slot := &r.slots[pos&r.mask]
+		if slot.seq.Load() == pos && r.tail.CompareAndSwap(pos, pos+1) {
+			slot.val = v
+			slot.seq.Store(pos + 1)
+			return
+		}
+		pos = r.tail.Load()
+	}
+}
+
+// Negative: the canonical pop — plain head is fine on the consumer side,
+// and copying the VALUE out of the slot is the intended handoff.
+//
+//halvet:mpsc consumer
+func (r *ring) pop() (int, bool) {
+	slot := &r.slots[r.head&r.mask]
+	if slot.seq.Load() != r.head+1 {
+		return 0, false
+	}
+	v := slot.val
+	slot.val = 0
+	slot.seq.Store(r.head + uint64(len(r.slots)))
+	r.head++
+	return v, true
+}
+
+// True positive: a method of a ring type with no declared role.
+func (r *ring) peek() bool { // want `method peek of MPSC ring type ring lacks a //halvet:mpsc role`
+	return r.slots[r.head&r.mask].seq.Load() == r.head+1
+}
+
+// True positive: a role outside the vocabulary.
+//
+//halvet:mpsc referee
+func (r *ring) scan() { // want `unknown //halvet:mpsc role "referee" on scan`
+}
+
+// True positive: the classic MPSC bug — a producer consulting the
+// consumer's cursor to judge fullness.
+//
+//halvet:mpsc producer
+func (r *ring) full() bool {
+	return r.tail.Load()-r.head >= uint64(len(r.slots)) // want `producer method full reads consumer-owned field ring.head`
+}
+
+// True positive: a producer writing plain state.
+//
+//halvet:mpsc producer
+func (r *ring) reset() {
+	r.head = 0 // want `producer method reset writes plain field ring.head`
+}
+
+// True positive: a claimed slot's address stored into a global.
+//
+//halvet:mpsc producer
+func (r *ring) claimLeak() {
+	pos := r.tail.Load()
+	slot := &r.slots[pos&r.mask]
+	leaked = slot // want `slot address escapes claimLeak via assignment`
+}
+
+// True positive: returning a slot pointer hands consumer-owned memory to
+// an arbitrary caller.
+//
+//halvet:mpsc consumer
+func (r *ring) headSlot() *cell {
+	return &r.slots[r.head&r.mask] // want `slot address escapes headSlot via return`
+}
+
+// True positive: a slot pointer as a call argument.
+//
+//halvet:mpsc consumer
+func (r *ring) inspect() {
+	sink(&r.slots[r.head&r.mask]) // want `slot address escapes inspect via call argument`
+}
+
+func sink(*cell) {}

@@ -1,0 +1,205 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"hal"
+)
+
+// Multicore scale trajectory: the "spray" workload.
+//
+// The paper's tables measure virtual time, which by construction cannot
+// see how well the host runtime exploits real cores.  Spray measures the
+// other axis: HOST throughput of the hot kernel paths (MPSC inbox rings,
+// sharded counters, name tables) as GOMAXPROCS grows.  P nodes each host
+// K actors; T tokens walk the global actor ring, so consecutive hops
+// always cross a node boundary and every hop exercises the full generic
+// remote-send path — locality check, interconnect injection, inbox ring,
+// dispatch.  Throughput is forwarded messages per host second; the
+// interesting figure is its ratio between GOMAXPROCS points at fixed P.
+//
+// Pacing is disabled (it deliberately throttles real time to align with
+// virtual time) and tokens outnumber cores by orders of magnitude, so
+// the measurement is a saturation throughput, not a latency.
+
+// ScaleConfig sizes one spray measurement.  Zero fields select defaults
+// (256 actors and 4 tokens per node, 256 hops per token, inbox capacity
+// 256 — the last keeps ring memory at P=4096 around 130 MB instead of
+// the ~500 MB a default 1024-slot ring would pin).
+type ScaleConfig struct {
+	GOMAXPROCS    int
+	Nodes         int
+	ActorsPerNode int
+	TokensPerNode int
+	Hops          int
+	InboxCap      int
+}
+
+func (c *ScaleConfig) defaults() {
+	if c.GOMAXPROCS <= 0 {
+		c.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	}
+	if c.ActorsPerNode <= 0 {
+		c.ActorsPerNode = 256
+	}
+	if c.TokensPerNode <= 0 {
+		c.TokensPerNode = 4
+	}
+	if c.Hops <= 0 {
+		c.Hops = 256
+	}
+	if c.InboxCap <= 0 {
+		c.InboxCap = 256
+	}
+}
+
+// ScalePoint is one multicore scale measurement (trajectory schema v3).
+// HostCPUs is recorded per point because the ratio between GOMAXPROCS
+// columns is only meaningful up to the physical core count: a 16-P
+// column measured on a 1-CPU host is a scheduling-overhead check, not a
+// speedup.
+type ScalePoint struct {
+	Name       string  `json:"name"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	HostCPUs   int     `json:"host_cpus"`
+	Nodes      int     `json:"nodes"`
+	Actors     int     `json:"actors"`
+	Messages   uint64  `json:"messages"`
+	WallMS     float64 `json:"wall_ms"`
+	MsgsPerSec float64 `json:"msgs_per_sec"`
+}
+
+// selToken is the spray forwarder's single selector.
+const selToken hal.Selector = 1
+
+// Spray runs one spray measurement.  The wall clock covers machine boot,
+// the creation wave, and the token phase; token hops outnumber creations
+// 4:1 by default so the steady-state send path dominates.
+func Spray(cfg ScaleConfig) (ScalePoint, error) {
+	cfg.defaults()
+	prev := runtime.GOMAXPROCS(cfg.GOMAXPROCS)
+	defer runtime.GOMAXPROCS(prev)
+
+	mcfg := quiet(cfg.Nodes, false)
+	mcfg.PaceWindow = -1 // free-running: this measures host throughput
+	mcfg.InboxCap = cfg.InboxCap
+	mcfg.StallTimeout = 300 * time.Second
+
+	m, err := hal.NewMachine(mcfg)
+	if err != nil {
+		return ScalePoint{}, err
+	}
+	total := cfg.Nodes * cfg.ActorsPerNode
+	tokens := cfg.Nodes * cfg.TokensPerNode
+	hops := cfg.Hops
+
+	// A token message carries [group, member index, hops left, done].
+	// The forwarder is stateless: group membership is computable from
+	// the handle, so a token can be routed to a member that has not
+	// finished being created yet (alias latency hiding).
+	forwarder := m.RegisterType("spray", func([]any) hal.Behavior {
+		return hal.BehaviorFunc(func(ctx *hal.Context, msg *hal.Message) {
+			g := msg.Group(0)
+			idx := msg.Args[1].(int)
+			left := msg.Args[2].(int)
+			if left == 0 {
+				ctx.Send(msg.Addr(3), selToken)
+				return
+			}
+			next := idx + 1
+			if next == g.N {
+				next = 0
+			}
+			ctx.Send(g.Member(next), selToken, g, next, left-1, msg.Args[3])
+		})
+	})
+
+	start := time.Now()
+	if _, err := m.Run(func(ctx *hal.Context) {
+		g := ctx.NewGroup(forwarder, total, 0)
+		remaining := tokens
+		done := ctx.New(hal.BehaviorFunc(func(ctx *hal.Context, _ *hal.Message) {
+			// The collector lives on node 0 with the root; closure
+			// state is node-goroutine-confined like any actor state.
+			remaining--
+			if remaining == 0 {
+				ctx.Exit(nil)
+			}
+		}))
+		for t := 0; t < tokens; t++ {
+			idx := t * total / tokens
+			ctx.Send(g.Member(idx), selToken, g, idx, hops, done)
+		}
+	}); err != nil {
+		return ScalePoint{}, fmt.Errorf("spray p=%d gomaxprocs=%d: %w", cfg.Nodes, cfg.GOMAXPROCS, err)
+	}
+	wall := time.Since(start)
+
+	msgs := uint64(tokens) * uint64(hops)
+	return ScalePoint{
+		Name:       fmt.Sprintf("Spray-p%d-gmp%d", cfg.Nodes, cfg.GOMAXPROCS),
+		GOMAXPROCS: cfg.GOMAXPROCS,
+		HostCPUs:   runtime.NumCPU(),
+		Nodes:      cfg.Nodes,
+		Actors:     total,
+		Messages:   msgs,
+		WallMS:     float64(wall) / float64(time.Millisecond),
+		MsgsPerSec: float64(msgs) / wall.Seconds(),
+	}, nil
+}
+
+// MeasureScale runs the spray matrix: every GOMAXPROCS value crossed
+// with every partition size, count runs each, keeping the highest
+// throughput per point (host noise only ever slows a run down).
+func MeasureScale(gomaxprocs, nodes []int, count int) ([]ScalePoint, error) {
+	if count < 1 {
+		count = 1
+	}
+	var out []ScalePoint
+	for _, p := range nodes {
+		for _, g := range gomaxprocs {
+			var best ScalePoint
+			for i := 0; i < count; i++ {
+				pt, err := Spray(ScaleConfig{GOMAXPROCS: g, Nodes: p})
+				if err != nil {
+					return out, err
+				}
+				if pt.MsgsPerSec > best.MsgsPerSec {
+					best = pt
+				}
+			}
+			out = append(out, best)
+		}
+	}
+	return out, nil
+}
+
+// PrintScale renders the matrix with per-partition speedups relative to
+// the GOMAXPROCS=1 column when it was measured.
+func PrintScale(w io.Writer, points []ScalePoint) {
+	if len(points) == 0 {
+		return
+	}
+	base := map[int]float64{} // nodes -> msgs/sec at GOMAXPROCS=1
+	for _, p := range points {
+		if p.GOMAXPROCS == 1 {
+			base[p.Nodes] = p.MsgsPerSec
+		}
+	}
+	fmt.Fprintf(w, "%-22s %5s %9s %10s %12s %8s\n",
+		"spray point", "gmp", "actors", "wall ms", "msgs/sec", "speedup")
+	hr(w, 72)
+	for _, p := range points {
+		speedup := "-"
+		if b, ok := base[p.Nodes]; ok && b > 0 && p.GOMAXPROCS != 1 {
+			speedup = fmt.Sprintf("%.2fx", p.MsgsPerSec/b)
+		}
+		fmt.Fprintf(w, "%-22s %5d %9d %10.1f %12.0f %8s\n",
+			p.Name, p.GOMAXPROCS, p.Actors, p.WallMS, p.MsgsPerSec, speedup)
+	}
+	fmt.Fprintf(w, "(host has %d CPUs; speedups beyond that count measure scheduler overhead)\n",
+		points[0].HostCPUs)
+}

@@ -72,8 +72,14 @@ type TrajectoryEntry struct {
 	Recorded   string          `json:"recorded,omitempty"`
 	GoVersion  string          `json:"go_version,omitempty"`
 	GOMAXPROCS int             `json:"gomaxprocs,omitempty"`
+	HostCPUs   int             `json:"host_cpus,omitempty"`
 	Micro      []MicroPoint    `json:"micro"`
 	Workloads  []WorkloadPoint `json:"workloads,omitempty"`
+	// Scale holds the multicore spray matrix (schema v3; see scale.go).
+	// Unlike Micro/Workloads it is only attached when explicitly
+	// requested: the matrix takes minutes and its figures are
+	// host-shape-dependent, so the nightly multi-core runners own it.
+	Scale []ScalePoint `json:"scale,omitempty"`
 }
 
 // Trajectory is the BENCH_hal.json document: an append-only series of
@@ -84,9 +90,11 @@ type Trajectory struct {
 }
 
 // trajectorySchema is the document version.  v2 added per-workload
-// tail-latency columns (LatencyPoint); v1 documents load unchanged — the
-// new fields are simply absent from old entries.
-const trajectorySchema = "hal-bench-trajectory/v2"
+// tail-latency columns (LatencyPoint); v3 added host_cpus plus the
+// per-entry multicore scale matrix (ScalePoint, with its own gomaxprocs
+// field per point).  Older documents load unchanged — the new fields are
+// simply absent from old entries.
+const trajectorySchema = "hal-bench-trajectory/v3"
 
 // PreBaseline returns the microbenchmark numbers measured at the commit
 // immediately before the zero-allocation control plane landed (boxed
@@ -129,6 +137,7 @@ func Measure(label string) (TrajectoryEntry, error) {
 		Recorded:   time.Now().UTC().Format(time.RFC3339),
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		HostCPUs:   runtime.NumCPU(),
 	}
 
 	// --- Table 2/3 primitives, same bodies as the root bench_test.go ---
@@ -365,6 +374,13 @@ func MergeBest(entries []TrajectoryEntry) TrajectoryEntry {
 			for i := range out.Workloads {
 				if out.Workloads[i].Name == w.Name && w.VirtualMS < out.Workloads[i].VirtualMS {
 					out.Workloads[i] = w
+				}
+			}
+		}
+		for _, s := range e.Scale {
+			for i := range out.Scale {
+				if out.Scale[i].Name == s.Name && s.MsgsPerSec > out.Scale[i].MsgsPerSec {
+					out.Scale[i] = s
 				}
 			}
 		}

@@ -36,7 +36,7 @@ func allocMachineCfg(t *testing.T, cfg Config) (*Machine, *Program) {
 	}
 	prog := &Program{id: m.progSeq.Add(1), m: m, done: make(chan struct{})}
 	m.registerProg(prog)
-	m.incLive(prog, 1)
+	m.incLiveAt(m.cfg.Nodes, prog, 1)
 	return m, prog
 }
 

@@ -208,7 +208,7 @@ func TestChaosFaults(t *testing.T) {
 				t.Fatalf("faulty chaos run failed (reproduce: -chaos.seed=%d): %v\n%s",
 					seed, err, m.DebugDump())
 			}
-			if live := m.live.Load(); live != 0 {
+			if live := m.live.sum(); live != 0 {
 				t.Fatalf("quiesced with %d live units (reproduce: -chaos.seed=%d)", live, seed)
 			}
 			if st.delivered.Load() == 0 {

@@ -56,7 +56,7 @@ func (c *Context) sendInternal(to Addr, sel Selector, args []any, data []float64
 	msg := n.newMsg()
 	msg.To, msg.Sel, msg.Args, msg.Data, msg.Reply = to, sel, args, data, reply
 	msg.prog = c.prog
-	n.m.incLive(c.prog, 1)
+	n.incLive(c.prog, 1)
 	n.sendMsg(msg)
 }
 

@@ -35,7 +35,7 @@ func (n *node) createRemote(dst amnet.NodeID, t TypeID, args []any, prog *Progra
 	alias := n.newAlias(dst)
 	n.stats.CreatesRemote++
 	n.charge(n.m.costs.CreateAlias)
-	n.m.incLive(prog, 1)
+	n.incLive(prog, 1)
 	rec := n.newSpawn()
 	rec.alias, rec.typ, rec.args, rec.prog = alias, t, args, prog
 	n.sendCtl(amnet.Packet{Handler: hCreate, Dst: dst, VT: n.stamp(0), Payload: rec}, prog, 1, 1)
@@ -49,7 +49,7 @@ func (n *node) createDeferred(t TypeID, args []any, prog *Program) Addr {
 	alias := n.newAlias(n.id)
 	n.stats.SpawnsQueued++
 	n.charge(n.m.costs.CreateAlias)
-	n.m.incLive(prog, 1)
+	n.incLive(prog, 1)
 	rec := n.newSpawn()
 	rec.alias, rec.typ, rec.args, rec.vt, rec.prog = alias, t, args, n.vclock, prog
 	n.spawnq.PushBack(rec)

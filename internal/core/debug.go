@@ -25,7 +25,7 @@ func (m *Machine) DebugDump() string {
 // not mutating it (stopped, or parked at stall detection).
 func (m *Machine) dumpLocked() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "live=%d\n", m.live.Load())
+	fmt.Fprintf(&b, "live=%d\n", m.live.sum())
 	for _, n := range m.nodes {
 		fmt.Fprintf(&b, "node %d: vclock=%.1fus ready=%d spawnq=%d table=%d ldLive=%d inbox=%d\n",
 			n.id, n.vclock, n.ready.Len(), n.spawnq.Len(), n.table.Len(), n.arena.Live(), n.ep.Pending())

@@ -28,7 +28,7 @@ func (m *Machine) WriteFlightRecord(w io.Writer, perNode int) error {
 	st := m.StatsNow()
 	fmt.Fprintf(bw, "=== HAL flight record ===\n")
 	fmt.Fprintf(bw, "nodes=%d live=%d parked=%d beat=%d running=%v\n",
-		len(m.nodes), m.live.Load(), m.parked.Load(), m.beat.Load(), m.running.Load())
+		len(m.nodes), m.live.sum(), m.parked.sum(), m.beat.sum(), m.running.Load())
 	bw.WriteString(st.String())
 	for i, n := range m.nodes {
 		evs := n.events.newest(perNode)

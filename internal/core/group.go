@@ -66,7 +66,7 @@ func (n *node) newGroup(t TypeID, count int, base amnet.NodeID, args []any, prog
 		ld.State = names.LDAliasPending
 		ld.RNode = g.home(i)
 	}
-	n.m.incLive(prog, int64(count))
+	n.incLive(prog, int64(count))
 	n.charge(n.m.costs.CreateAlias * float64(count))
 	n.handleGroupCreate(groupCreate{g: g, typ: t, args: args, prog: prog}, n.vclock)
 	return g
@@ -119,7 +119,7 @@ func (n *node) broadcast(g Group, msg *Message) {
 	n.stats.Broadcasts++
 	n.trace(EvBroadcast, Nil, amnet.NoNode)
 	n.charge(n.m.costs.LocalSend + float64(len(msg.Data))*n.m.costs.PerWord)
-	n.m.incLive(msg.prog, int64(g.N))
+	n.incLive(msg.prog, int64(g.N))
 	n.handleBcast(&bcastWork{g: g, root: n.id, msg: msg}, n.vclock)
 }
 
@@ -201,7 +201,7 @@ func (n *node) deliverBcastMember(addr Addr, msg *Message, inline bool, vt float
 		n.stats.DeadLetters++
 		prog := clone.prog
 		n.freeMsg(clone)
-		n.m.decLiveProg(prog)
+		n.decLiveProg(prog)
 		return
 	}
 	if inline && a.mailq.Empty() && n.enabled(a, clone.Sel) {

@@ -72,7 +72,7 @@ func (n *node) fillSlot(jcSeq uint64, slot int32, v any, external bool, vt float
 		// Stale continuation (double reply): drop.
 		if external {
 			n.stats.DeadLetters++
-			n.m.decLiveProg(unitProg)
+			n.decLiveProg(unitProg)
 		}
 		return
 	}
@@ -93,15 +93,15 @@ func (n *node) fillSlot(jcSeq uint64, slot int32, v any, external bool, vt float
 		// the completing reply's unit (possibly another program's)
 		// retires normally.  Increment before decrement so a program's
 		// count cannot graze zero mid-handoff.
-		n.m.incLive(j.prog, 1)
+		n.incLive(j.prog, 1)
 		n.ready.Push(task{join: j}, j.readyVT)
 		if external {
-			n.m.decLiveProg(unitProg)
+			n.decLiveProg(unitProg)
 		}
 		return
 	}
 	if external {
-		n.m.decLiveProg(unitProg)
+		n.decLiveProg(unitProg)
 	}
 }
 
@@ -116,7 +116,7 @@ func (n *node) runJoin(j *joinCont) {
 	ctx.self, ctx.selfAddr, ctx.prog = prevSelf, prevAddr, prevProg
 	n.jc.m.Delete(j.seq)
 	n.stats.JoinsRun++
-	n.m.decLiveProg(j.prog)
+	n.decLiveProg(j.prog)
 }
 
 // replyEnvelope carries a reply value that does not word-encode, with its
@@ -135,7 +135,7 @@ func (n *node) applyReply(jcSeq uint64, slot int32, v any, prog *Program, vt flo
 // sendReply routes a reply value to the requester's continuation slot.
 func (n *node) sendReply(rt ReplyTo, v any, prog *Program) {
 	n.charge(n.m.costs.Reply)
-	n.m.incLive(prog, 1)
+	n.incLive(prog, 1)
 	if rt.Node == n.id {
 		n.applyReply(rt.JC, rt.Slot, v, prog, n.vclock)
 		return

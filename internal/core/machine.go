@@ -40,12 +40,14 @@ type Machine struct {
 
 	// live counts undone work: queued messages, held messages, deferred
 	// creations, scheduled continuations.  Quiescence (live == 0) ends a
-	// run.
-	live atomic.Int64
+	// run.  Sharded per node (slot cfg.Nodes is the front end's) so the
+	// per-message increments never contend on one cache line; readers
+	// aggregate (shard.go).
+	live sharded
 	// beat bumps whenever any node makes progress; the stall monitor
-	// watches it.
-	beat   atomic.Uint64
-	parked atomic.Int32
+	// watches its aggregate.  Sharded like live.
+	beat   sharded
+	parked sharded
 
 	running  atomic.Bool
 	stop     chan struct{}
@@ -111,6 +113,9 @@ func NewMachine(cfg Config) (*Machine, error) {
 		types:      []typeEntry{{name: "<invalid>"}}, // TypeID 0 reserved
 	}
 	m.pace.init(cfg.Nodes, float64(cfg.PaceWindow)/float64(time.Microsecond))
+	m.live = newSharded(cfg.Nodes + 1) // one slot per node + the front end
+	m.beat = newSharded(cfg.Nodes)
+	m.parked = newSharded(cfg.Nodes)
 	m.nodes = make([]*node, cfg.Nodes)
 	for i := range m.nodes {
 		m.nodes[i] = newNode(m, amnet.NodeID(i))
@@ -252,7 +257,7 @@ func (m *Machine) monitor(stop <-chan struct{}, done <-chan struct{}) {
 	}
 	t := time.NewTicker(interval)
 	defer t.Stop()
-	var prevBeat uint64
+	var prevBeat int64
 	strikes := 0
 	for {
 		select {
@@ -262,15 +267,18 @@ func (m *Machine) monitor(stop <-chan struct{}, done <-chan struct{}) {
 			return
 		case <-t.C:
 		}
-		beat := m.beat.Load()
-		live := m.live.Load()
+		// Aggregating reads over the sharded gauges: each is a racy sum,
+		// but a misread implies concurrent activity, which bumps beat and
+		// resets the strike count — see shard.go.
+		beat := m.beat.sum()
+		live := m.live.sum()
 		quiet := true
 		if !m.cfg.LoadBalance {
 			// Without load balancing the machine is stalled only if
 			// every node is parked with empty inboxes; with it, steal
 			// polling keeps nodes and links busy forever, so the
 			// absence of task-execution progress (beat) decides alone.
-			quiet = m.parked.Load() == int32(len(m.nodes))
+			quiet = m.parked.sum() == int64(len(m.nodes))
 			for _, n := range m.nodes {
 				if n.ep.Pending() > 0 {
 					quiet = false

@@ -68,7 +68,7 @@ func (n *node) startMigration(a *Actor) {
 	a.pending = nil
 	a.dead = true // the local husk; the identity lives on at dst
 
-	n.m.incLive(a.prog, 1)
+	n.incLive(a.prog, 1)
 	pkt := amnet.Packet{Handler: hMigrate, Dst: dst, VT: n.stamp(0), Payload: bundle}
 	if !n.m.relOn {
 		n.ep.SendBatched(pkt)
@@ -197,5 +197,5 @@ func (n *node) handleMigrate(src amnet.NodeID, bundle *migBundle, vt float64) {
 	if !a.alias.IsNil() {
 		n.flushPendingAddr(a.alias)
 	}
-	n.m.decLiveProg(bundle.prog)
+	n.decLiveProg(bundle.prog)
 }

@@ -78,8 +78,17 @@ type node struct {
 	// from the run loop between tasks, before an idle park, and at drain
 	// — never from a handler — so the mutex stays off the hot paths and
 	// every published snapshot is internally consistent.
+	//
+	// The mirror region is padded on both sides: snapMu is locked by
+	// StatsNow readers on other goroutines, and without the pads its line
+	// would also carry the tail of stats (above) or the hot pool slices
+	// (below), which this node's goroutine rewrites constantly — every
+	// StatsNow poll would then steal the line the kernel loop is writing
+	// through.  Layout-sensitive; see DESIGN.md "Cache-line layout".
+	_      [64]byte
 	snapMu sync.Mutex
 	snap   NodeStats //halvet:guardedby snapMu
+	_      [64]byte
 
 	// sink receives streamed trace events (Config.TraceSink), nil when
 	// streaming is off.
@@ -170,7 +179,7 @@ func (n *node) run() {
 			n.paceGate()
 			if t, ok := n.ready.Pop(); ok {
 				n.execute(t)
-				n.m.beat.Add(1)
+				n.m.beat.add(int(n.id), 1)
 				continue
 			}
 			// Newest-first local pop keeps the creation tree
@@ -178,7 +187,7 @@ func (n *node) run() {
 			// from the front.
 			if rec, ok := n.spawnq.PopBack(); ok {
 				n.instantiate(rec)
-				n.m.beat.Add(1)
+				n.m.beat.add(int(n.id), 1)
 			}
 			continue
 		}
@@ -231,7 +240,7 @@ func (n *node) idle() {
 			}
 		}
 	}
-	polling := n.m.cfg.LoadBalance && n.m.live.Load() > 0 && n.spawnq.Empty()
+	polling := n.m.cfg.LoadBalance && n.m.live.sum() > 0 && n.spawnq.Empty()
 	if polling {
 		//halvet:allowwallclock lost-steal watchdog: an idle PE's VT is frozen, so fault recovery must pace on the host clock
 		if n.stealOut && n.m.relOn && !n.stealSent.IsZero() && time.Since(n.stealSent) > n.m.cfg.RetryMax*8 {
@@ -249,9 +258,9 @@ func (n *node) idle() {
 		n.m.pace.polling.Add(1)
 	}
 	n.stats.IdleParks++
-	n.m.parked.Add(1)
+	n.m.parked.add(int(n.id), 1)
 	n.ep.RecvBlock(n.m.stop, timeout)
-	n.m.parked.Add(-1)
+	n.m.parked.add(int(n.id), -1)
 	if polling {
 		n.m.pace.polling.Add(-1)
 	}
@@ -388,7 +397,7 @@ func (n *node) invoke(a *Actor, msg *Message) {
 	} else if a.migrate != amnet.NoNode {
 		n.startMigration(a)
 	}
-	n.m.decLiveProg(prog)
+	n.decLiveProg(prog)
 }
 
 // flushPending re-dispatches pending messages that the (possibly new)
@@ -451,7 +460,7 @@ func (n *node) dropMsg(msg *Message) {
 	n.trace(EvDeadLetter, msg.To, amnet.NoNode)
 	prog := msg.prog
 	n.freeMsg(msg)
-	n.m.decLiveProg(prog)
+	n.decLiveProg(prog)
 }
 
 // enqueueLocal appends msg to a local actor's mail queue and schedules the
@@ -541,7 +550,7 @@ func (n *node) instantiate(rec *spawnRecord) {
 		}
 	}
 	n.flushPendingAddr(rec.alias)
-	n.m.decLiveProg(rec.prog)
+	n.decLiveProg(rec.prog)
 	n.freeSpawn(rec)
 }
 

@@ -37,28 +37,36 @@ import (
 
 const infVT = math.MaxFloat64
 
+// paceSlot is one node's published clock state, padded to a cache line.
+// Every node stores into its slot before starting each task (publish), so
+// with the former parallel []atomic arrays eight nodes' hottest stores
+// landed on one line and invalidated each other — textbook false sharing,
+// invisible at GOMAXPROCS=1 and a scaling cliff above it.
+type paceSlot struct {
+	clock atomic.Uint64 // Float64bits of the node's clock
+	front atomic.Uint64 // Float64bits of the node's oldest spawn stamp
+	busy  atomic.Bool   // node has runnable work right now
+	_     [47]byte
+}
+
 // pacer holds the published clock state.
 type pacer struct {
 	window  float64 // µs; <= 0 disables pacing
 	polling atomic.Int32
-	clocks  []atomic.Uint64 // Float64bits of each node's clock
-	fronts  []atomic.Uint64 // Float64bits of each node's oldest spawn stamp
-	busy    []atomic.Bool   // node has runnable work right now
+	slots   []paceSlot
 }
 
 func (p *pacer) init(nodes int, window float64) {
 	p.window = window
-	p.clocks = make([]atomic.Uint64, nodes)
-	p.fronts = make([]atomic.Uint64, nodes)
-	p.busy = make([]atomic.Bool, nodes)
+	p.slots = make([]paceSlot, nodes)
 }
 
 func (p *pacer) reset() {
 	p.polling.Store(0)
-	for i := range p.clocks {
-		p.clocks[i].Store(0)
-		p.fronts[i].Store(math.Float64bits(infVT))
-		p.busy[i].Store(false)
+	for i := range p.slots {
+		p.slots[i].clock.Store(0)
+		p.slots[i].front.Store(math.Float64bits(infVT))
+		p.slots[i].busy.Store(false)
 	}
 }
 
@@ -68,14 +76,15 @@ func (p *pacer) reset() {
 // at which that idle node could be running it).
 func (p *pacer) frontier(stealRTT float64) float64 {
 	minBusy, minFront := infVT, infVT
-	for i := range p.clocks {
-		if !p.busy[i].Load() {
+	for i := range p.slots {
+		s := &p.slots[i]
+		if !s.busy.Load() {
 			continue
 		}
-		if v := math.Float64frombits(p.clocks[i].Load()); v < minBusy {
+		if v := math.Float64frombits(s.clock.Load()); v < minBusy {
 			minBusy = v
 		}
-		if v := math.Float64frombits(p.fronts[i].Load()); v < minFront {
+		if v := math.Float64frombits(s.front.Load()); v < minFront {
 			minFront = v
 		}
 	}
@@ -90,18 +99,17 @@ func (p *pacer) frontier(stealRTT float64) float64 {
 // even with pacing disabled: they double as the running machine's
 // VirtualTime snapshot.
 func (n *node) publish() {
-	p := &n.m.pace
-	id := int(n.id)
-	p.clocks[id].Store(math.Float64bits(n.vclock))
-	if p.window <= 0 {
+	s := &n.m.pace.slots[n.id]
+	s.clock.Store(math.Float64bits(n.vclock))
+	if n.m.pace.window <= 0 {
 		return
 	}
 	front := infVT
 	if rec, ok := n.spawnq.Front(); ok {
 		front = rec.vt
 	}
-	p.fronts[id].Store(math.Float64bits(front))
-	p.busy[id].Store(n.ready.Len() > 0 || n.spawnq.Len() > 0)
+	s.front.Store(math.Float64bits(front))
+	s.busy.Store(n.ready.Len() > 0 || n.spawnq.Len() > 0)
 }
 
 // paceGate holds the node while starting new work would run more than a

@@ -37,8 +37,9 @@ type Program struct {
 
 // finishProg marks the program complete (idempotent).
 //
-//halvet:allowblock Once.Do is bounded here: the winning call only closes a
 // channel, so a loser waits a few instructions, never on network progress.
+//
+//halvet:allowblock Once.Do is bounded here: the winning call only closes a
 func (p *Program) finishProg() {
 	p.once.Do(func() { close(p.done) })
 }
@@ -75,21 +76,29 @@ func (p *Program) Wait() (any, error) {
 	return p.result, nil
 }
 
-// incLive accounts one unit of work for prog (and for the machine-wide
-// activity gauge the balancer and stall monitor use).
-func (m *Machine) incLive(prog *Program, n int64) {
-	m.live.Add(n)
+// incLiveAt accounts n units of work for prog (and for the machine-wide
+// activity gauge the balancer and stall monitor use), attributing the
+// machine-wide part to the caller's counter shard.
+func (m *Machine) incLiveAt(shard int, prog *Program, n int64) {
+	m.live.add(shard, n)
 	prog.live.Add(n)
 }
 
-// decLive retires one unit; the decrement draining a program's count
-// completes that program.
-func (m *Machine) decLiveProg(prog *Program) {
+// decLiveProgAt retires one unit; the decrement draining a program's
+// count completes that program.  prog.live stays one exact shared atomic
+// — per-program quiescence needs a precise zero crossing — while the
+// machine gauge uses the caller's shard.
+func (m *Machine) decLiveProgAt(shard int, prog *Program) {
 	if prog.live.Add(-1) == 0 {
 		prog.setDoneResult()
 	}
-	m.live.Add(-1)
+	m.live.add(shard, -1)
 }
+
+// incLive / decLiveProg are the node-context forms: machine-wide work
+// accounting lands on the node's own shard.
+func (n *node) incLive(prog *Program, k int64) { n.m.incLiveAt(int(n.id), prog, k) }
+func (n *node) decLiveProg(prog *Program)      { n.m.decLiveProgAt(int(n.id), prog) }
 
 // setDoneResult finishes the program at quiescence.
 func (p *Program) setDoneResult() {
@@ -112,8 +121,8 @@ func (m *Machine) Start() error {
 	m.stop = make(chan struct{})
 	m.stopOnce = new(sync.Once)
 	m.draining.Store(0)
-	m.parked.Store(0)
-	m.live.Store(0)
+	m.parked.reset()
+	m.live.reset()
 	m.mu.Lock()
 	m.failed = nil
 	m.mu.Unlock()
@@ -154,7 +163,7 @@ func (m *Machine) Launch(root func(ctx *Context)) (*Program, error) {
 	m.launchMu.Lock()
 	prog := &Program{id: m.progSeq.Add(1), m: m, done: make(chan struct{})}
 	m.registerProg(prog)
-	m.incLive(prog, 1) // the bootstrap message
+	m.incLiveAt(m.cfg.Nodes, prog, 1) // the bootstrap message
 	m.frontEP.Send(amnet.Packet{
 		Handler: hLoadProgram,
 		Dst:     0,

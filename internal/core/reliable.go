@@ -256,11 +256,11 @@ func (n *node) retireUnit(u relUnit) {
 	}
 	n.stats.DeadLetters += u.letters
 	if u.prog == nil {
-		n.m.live.Add(-u.live)
+		n.m.live.add(int(n.id), -u.live)
 		return
 	}
 	for i := int64(0); i < u.live; i++ {
-		n.m.decLiveProg(u.prog)
+		n.decLiveProg(u.prog)
 	}
 }
 

@@ -2,6 +2,7 @@ package core
 
 import (
 	"reflect"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -85,6 +86,20 @@ func checkSnapshot(t *testing.T, prev, cur MachineStats) {
 }
 
 func TestStatsNowMidRunConsistency(t *testing.T) {
+	statsNowMidRunConsistency(t)
+}
+
+// TestStatsNowMidRunConsistencyGOMAXPROCS4 repeats the mid-run poll with
+// four Ps: the sharded machine gauges and padded per-node snap mirrors
+// only interleave for real when node goroutines and the poller run
+// concurrently (the nightly flake-hunter runs this under -race x20).
+func TestStatsNowMidRunConsistencyGOMAXPROCS4(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	statsNowMidRunConsistency(t)
+}
+
+func statsNowMidRunConsistency(t *testing.T) {
 	const nodes = 4
 	m := testMachine(t, Config{Nodes: nodes, LoadBalance: true})
 	typ := m.RegisterType("relay", func(args []any) Behavior { return &tokenRelay{} })

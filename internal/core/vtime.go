@@ -149,7 +149,7 @@ func (m *Machine) NodeVirtualTimes() []time.Duration {
 	for i, n := range m.nodes {
 		v := n.vclock
 		if running {
-			v = math.Float64frombits(m.pace.clocks[i].Load())
+			v = math.Float64frombits(m.pace.slots[i].clock.Load())
 		}
 		out[i] = time.Duration(v * float64(time.Microsecond))
 	}

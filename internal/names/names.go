@@ -252,25 +252,48 @@ func (a *Arena) ForEach(f func(seq uint64, ld *LD)) {
 // Cap returns the number of slots ever allocated (arena footprint).
 func (a *Arena) Cap() int { return len(a.slots) - 1 }
 
+// tableShards is the number of sub-maps a Table spreads its bindings
+// over; must be a power of two.
+const tableShards = 16
+
 // Table is a node's name table: mail address -> local LD Seq.  The paper
 // implements it as a hash table of locality descriptors; here the arena
 // owns the descriptors and the table stores their Seqs.
+//
+// The table is sharded by a hash of the address's owner node (Birth):
+// at million-actor scale one flat map's buckets no longer fit any cache
+// level and every rehash is a multi-megabyte stop inside the kernel loop,
+// while sixteen owner-partitioned maps keep probes in smaller, hotter
+// bucket arrays and amortize growth into sixteen small rehashes.  The
+// owner-node key also gives workloads their natural locality — a node
+// corresponding mostly with a few peers concentrates its lookups in a few
+// shards — and is the partition a future cross-process name service would
+// shard its locks by; today the table is still goroutine-confined and
+// lock-free.
 type Table struct {
-	m map[Addr]uint64
+	m [tableShards]map[Addr]uint64
 	// hits/misses support the Table 2 "locality check" measurements.
 	Hits   uint64
 	Misses uint64
+	// binds counts live bindings across shards so Len is O(1).
+	binds int
 }
 
-// NewTable returns an empty name table.
-func NewTable() *Table {
-	return &Table{m: make(map[Addr]uint64)}
+// shardOf hashes the address's owner node into a shard index.  Fibonacci
+// hashing spreads the dense small NodeIDs; Seq is mixed in so the
+// million-actors-on-few-nodes case still uses every shard.
+func shardOf(a Addr) int {
+	h := uint64(uint32(a.Birth))*0x9E3779B97F4A7C15 ^ a.Seq*0x9E3779B97F4A7C15
+	return int(h >> (64 - 4)) // log2(tableShards)
 }
+
+// NewTable returns an empty name table.  Shard maps allocate lazily: most
+// nodes never cache addresses owned by most other nodes.
+func NewTable() *Table { return &Table{} }
 
 // Lookup returns the local LD Seq for addr, or 0 if none is cached.
 func (t *Table) Lookup(addr Addr) uint64 {
-	seq, ok := t.m[addr]
-	if ok {
+	if seq, ok := t.m[shardOf(addr)][addr]; ok {
 		t.Hits++
 		return seq
 	}
@@ -280,16 +303,27 @@ func (t *Table) Lookup(addr Addr) uint64 {
 
 // Bind records addr -> seq, replacing any previous binding.
 func (t *Table) Bind(addr Addr, seq uint64) {
-	t.m[addr] = seq
+	s := shardOf(addr)
+	m := t.m[s]
+	if m == nil {
+		m = make(map[Addr]uint64)
+		t.m[s] = m
+	}
+	if _, had := m[addr]; !had {
+		t.binds++
+	}
+	m[addr] = seq
 }
 
 // Unbind removes addr's binding if it currently maps to seq (guarding
 // against racing rebinds during migration).
 func (t *Table) Unbind(addr Addr, seq uint64) {
-	if cur, ok := t.m[addr]; ok && cur == seq {
-		delete(t.m, addr)
+	m := t.m[shardOf(addr)]
+	if cur, ok := m[addr]; ok && cur == seq {
+		delete(m, addr)
+		t.binds--
 	}
 }
 
 // Len returns the number of bindings.
-func (t *Table) Len() int { return len(t.m) }
+func (t *Table) Len() int { return t.binds }
