@@ -1,7 +1,8 @@
 // Command halvet is the HAL runtime's invariant checker: a multichecker
-// driving the seven analyzers in internal/analysis (handlernoblock,
+// driving the nine analyzers in internal/analysis (handlernoblock,
 // poolowner, repairplane, endpointaffinity, mutexguard, atomicfield,
-// vtclock), plus the driver's staleness sweep over suppression comments.
+// vtclock, ringowner, wiresym), plus the driver's staleness sweep over
+// suppression comments.
 //
 // Two ways to run it:
 //
@@ -9,8 +10,11 @@
 //	go vet -vettool=$(which halvet) ./...
 //
 // Standalone mode also sweeps for stale suppression comments (disable
-// with -stale=false) and can render findings as a SARIF 2.1.0 log for
-// GitHub code scanning with -sarif <file> (use "-" for stdout).
+// with -stale=false), can render findings as a SARIF 2.1.0 log for
+// GitHub code scanning with -sarif <file> (use "-" for stdout), and can
+// report per-analyzer wall time with -timing (add -timing-budget to turn
+// a slow analyzer into a failure — CI uses this to catch a summary-layer
+// fixed point that stopped converging quickly).
 //
 // The second form speaks the toolchain's unitchecker protocol: `go vet`
 // interrogates the binary with -V=full (build-cache keying) and -flags
@@ -31,6 +35,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
 	"hal/internal/analysis"
 )
@@ -55,8 +60,10 @@ func main() {
 	}
 	sarifPath := flag.String("sarif", "", "standalone mode: also write findings as SARIF 2.1.0 to this `file` (\"-\" for stdout)")
 	staleSweep := flag.Bool("stale", true, "standalone mode: flag suppression comments that no longer suppress anything")
+	timing := flag.Bool("timing", false, "standalone mode: print per-analyzer wall time to stderr")
+	timingBudget := flag.Duration("timing-budget", 0, "standalone mode: fail if any single analyzer's total wall time exceeds this `duration` (0 disables; implies -timing)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: halvet [-<analyzer>=false ...] [-sarif file] [-stale=false] ./...\n")
+		fmt.Fprintf(os.Stderr, "usage: halvet [-<analyzer>=false ...] [-sarif file] [-stale=false] [-timing] [-timing-budget 60s] ./...\n")
 		fmt.Fprintf(os.Stderr, "   or: go vet -vettool=$(which halvet) ./...\n\n")
 		flag.PrintDefaults()
 	}
@@ -73,20 +80,39 @@ func main() {
 	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
 		os.Exit(runVetUnit(args[0], suite))
 	}
-	os.Exit(runStandalone(args, suite, *sarifPath, *staleSweep))
+	os.Exit(runStandalone(args, suite, *sarifPath, *staleSweep, *timing, *timingBudget))
 }
 
 // runStandalone analyzes package patterns in the current module.
-func runStandalone(patterns []string, suite []*analysis.Analyzer, sarifPath string, staleSweep bool) int {
+func runStandalone(patterns []string, suite []*analysis.Analyzer, sarifPath string, staleSweep, timing bool, timingBudget time.Duration) int {
 	wd, err := os.Getwd()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "halvet:", err)
 		return 1
 	}
-	findings, err := analysis.AnalyzeModule(wd, patterns, suite, staleSweep)
+	var timings analysis.AnalyzerTimings
+	if timing || timingBudget > 0 {
+		timings = analysis.AnalyzerTimings{}
+	}
+	findings, err := analysis.AnalyzeModuleTimed(wd, patterns, suite, staleSweep, timings)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "halvet:", err)
 		return 1
+	}
+	overBudget := false
+	if timings != nil {
+		names := make([]string, 0, len(timings))
+		for name := range timings {
+			names = append(names, name)
+		}
+		sort.Slice(names, func(i, j int) bool { return timings[names[i]] > timings[names[j]] })
+		for _, name := range names {
+			fmt.Fprintf(os.Stderr, "halvet: timing: %-16s %v\n", name, timings[name].Round(time.Millisecond))
+			if timingBudget > 0 && timings[name] > timingBudget {
+				fmt.Fprintf(os.Stderr, "halvet: timing: analyzer %s exceeded the %v budget\n", name, timingBudget)
+				overBudget = true
+			}
+		}
 	}
 	sort.Slice(findings, func(i, j int) bool {
 		if findings[i].Pos.Filename != findings[j].Pos.Filename {
@@ -112,7 +138,7 @@ func runStandalone(patterns []string, suite []*analysis.Analyzer, sarifPath stri
 		f.Pos.Filename = relTo(wd, f.Pos.Filename)
 		fmt.Fprintln(os.Stderr, f)
 	}
-	if len(findings) > 0 {
+	if len(findings) > 0 || overBudget {
 		return 2
 	}
 	return 0

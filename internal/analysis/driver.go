@@ -4,9 +4,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"go/token"
+	"time"
 )
 
-// Suite returns the eight halvet analyzers in their canonical order.
+// Suite returns the nine halvet analyzers in their canonical order.
 func Suite() []*Analyzer {
 	return []*Analyzer{
 		HandlerNoBlock,
@@ -17,6 +18,7 @@ func Suite() []*Analyzer {
 		AtomicField,
 		VTClock,
 		RingOwner,
+		WireSym,
 	}
 }
 
@@ -32,15 +34,27 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s: %s (halvet-%s)", f.Pos, f.Message, f.Analyzer)
 }
 
+// AnalyzerTimings accumulates wall-clock time per analyzer across every
+// package of a driver run, keyed by analyzer name.  The interprocedural
+// passes make per-analyzer cost worth watching: CI prints this table and
+// fails if any single analyzer exceeds its budget.
+type AnalyzerTimings map[string]time.Duration
+
 // AnalyzeModule loads the packages matching patterns (relative to dir),
 // runs the analyzers over each non-dependency match, and returns every
 // finding.  Dependencies inside the same module are analyzed in
 // FactsOnly mode first so cross-package facts (handler reachability,
-// guard obligations, atomic-field sets) are available, mirroring what
-// `go vet -vettool` does with vetx files.  With staleSweep set, every
-// suppression comment in a pattern-matched package that suppressed
-// nothing is reported as a "staleallow" finding.
+// guard obligations, atomic-field sets, pool and wire summaries) are
+// available, mirroring what `go vet -vettool` does with vetx files.
+// With staleSweep set, every suppression comment in a pattern-matched
+// package that suppressed nothing is reported as a "staleallow" finding.
 func AnalyzeModule(dir string, patterns []string, analyzers []*Analyzer, staleSweep bool) ([]Finding, error) {
+	return AnalyzeModuleTimed(dir, patterns, analyzers, staleSweep, nil)
+}
+
+// AnalyzeModuleTimed is AnalyzeModule with an optional per-analyzer
+// wall-clock accumulator (nil to skip measuring).
+func AnalyzeModuleTimed(dir string, patterns []string, analyzers []*Analyzer, staleSweep bool, timings AnalyzerTimings) ([]Finding, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -67,7 +81,11 @@ func AnalyzeModule(dir string, patterns []string, analyzers []*Analyzer, staleSw
 		}
 		facts := PackageFacts{}
 		for _, az := range analyzers {
+			start := time.Now()
 			diags, blob, err := runOne(az, fset, loaded.Files, loaded.Pkg, loaded.Info, lp.DepOnly, depFacts, used)
+			if timings != nil {
+				timings[az.Name] += time.Since(start)
+			}
 			if err != nil {
 				return nil, err
 			}

@@ -12,14 +12,22 @@ import (
 // ownership transfers when the value rides a Packet (Payload field,
 // sendFIR, injectBatch), and the final owner frees it exactly once.
 //
-// The analysis is intra-procedural: an abstract interpretation over each
-// function body tracking local variables bound to pool allocations through
-// a three-state lattice (live / freed / transferred).  Branches fork the
+// The analysis is an abstract interpretation over each function body
+// tracking local variables bound to pool allocations through a
+// three-state lattice (live / freed / transferred).  Branches fork the
 // state and merge conservatively (a variable freed on only one path is
 // forgotten, not flagged), loops are analyzed for one iteration, and any
 // escape — into a struct, closure, channel, or return — ends tracking.
-// This trades cross-function bugs for a near-zero false-positive rate;
-// the golden fixtures pin both directions.
+//
+// Function boundaries are crossed through summaries (summary.go): every
+// function's effect on its pooled parameters (frees, transfers to the
+// network, escapes) and its result (fresh allocation, parameter alias)
+// is computed bottom-up and applied at call sites, so a helper that
+// frees its argument triggers use-after-free reports in its callers —
+// one level or many, since summaries fold transitively.  Summaries cross
+// packages as JSON facts.  This keeps the near-zero false-positive rate:
+// a helper with no provable effect leaves the caller's state exactly as
+// the intra-procedural analysis did.
 var PoolOwner = &Analyzer{
 	Name: "poolowner",
 	Doc:  "flag use-after-free, double-free, and use-after-transfer of pooled control-plane values",
@@ -110,11 +118,19 @@ type poWalker struct {
 	// after Free is not a use-after-free; only the descriptor pointer is.
 	// Double-free is still reported: it is group state, not a token read.
 	tokens map[types.Object]bool
+	// sums resolves callee summaries for interprocedural effects.
+	sums *poSummarizer
 }
 
 func runPoolOwner(pass *Pass) error {
+	sums := newPoSummarizer(pass)
+	if ex := sums.exportable(); len(ex) > 0 {
+		if err := pass.ExportFacts(poFacts{Summaries: ex}); err != nil {
+			return err
+		}
+	}
 	if pass.FactsOnly {
-		return nil // purely intra-procedural: no facts to export
+		return nil
 	}
 	for _, file := range pass.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
@@ -130,7 +146,7 @@ func runPoolOwner(pass *Pass) error {
 			if body == nil {
 				return true
 			}
-			w := &poWalker{pass: pass, tokens: map[types.Object]bool{}}
+			w := &poWalker{pass: pass, tokens: map[types.Object]bool{}, sums: sums}
 			env := make(poEnv)
 			w.walkStmts(body.List, env)
 			// Deferred frees run at function exit, after everything above.
@@ -318,6 +334,19 @@ func (w *poWalker) walkAssign(x *ast.AssignStmt, env poEnv) {
 			}
 		}
 	}
+	// A helper that returns one of its own arguments aliases rather than
+	// rebinds: q := passThrough(p) leaves q and p in one group, so a free
+	// through either is a free of both.
+	if len(x.Lhs) == 1 && len(x.Rhs) == 1 {
+		if g, ok := w.aliasGroup(x.Rhs[0], env); ok {
+			if id, isIdent := x.Lhs[0].(*ast.Ident); isIdent {
+				if obj := w.lhsObj(id); obj != nil {
+					env[obj] = g
+					return
+				}
+			}
+		}
+	}
 	// A write through a tracked value's own field (p.hops = append(p.hops,
 	// x)) mutates in place — no new alias escapes, so tracking survives.
 	selfBases := map[types.Object]bool{}
@@ -413,7 +442,55 @@ func (w *poWalker) walkCall(call *ast.CallExpr, env poEnv, deferred bool) {
 		return
 	}
 
+	// Interprocedural: a callee with a computed summary applies its
+	// per-parameter effects (free, transfer, escape) right here.
+	if callee := staticCallee(w.pass.TypesInfo, call); callee != nil && w.sums != nil {
+		if sum, ok := w.sums.summaryFor(callee); ok {
+			w.applySummary(call, sum, env, deferred)
+			return
+		}
+	}
+
 	w.checkExpr(call, env)
+}
+
+// applySummary folds a callee's PoolSummary into the caller's state: a
+// tracked bare-identifier argument the callee frees is consumed at the
+// call site, one it sends transfers, one it stores escapes.  Arguments
+// the summary says nothing about keep the intra-procedural behavior (read
+// check only).
+func (w *poWalker) applySummary(call *ast.CallExpr, sum PoolSummary, env poEnv, deferred bool) {
+	for j, a := range call.Args {
+		var eff PoolParamEffect
+		if j < len(sum.Params) {
+			eff = sum.Params[j]
+		}
+		if !eff.zero() {
+			if id, ok := ast.Unparen(a).(*ast.Ident); ok {
+				if obj := w.pass.TypesInfo.Uses[id]; obj != nil {
+					if g := env[obj]; g != nil {
+						switch {
+						case eff.Frees != "":
+							if deferred {
+								w.deferred = append(w.deferred, struct {
+									pos token.Pos
+									obj types.Object
+								}{call.Pos(), obj})
+							} else {
+								w.consume(env, obj, a.Pos(), eff.Frees)
+							}
+						case eff.Transfers:
+							w.transfer(env, obj, g, a.Pos())
+						default: // escapes into the callee's reachable state
+							w.untrackObj(obj, env)
+						}
+						continue
+					}
+				}
+			}
+		}
+		w.checkExpr(a, env)
+	}
 }
 
 // consume marks a group freed, reporting double frees and frees after
@@ -466,6 +543,12 @@ func (w *poWalker) checkExpr(e ast.Expr, env poEnv) {
 			if _, isFree := poFreeKinds[name]; isFree || poTransferFuncs[name] || (name == "Free" && recv == "Arena") {
 				w.walkCall(x, env, false)
 				return false
+			}
+			if callee := staticCallee(w.pass.TypesInfo, x); callee != nil && w.sums != nil {
+				if sum, ok := w.sums.summaryFor(callee); ok && sum.consumes() {
+					w.applySummary(x, sum, env, false)
+					return false
+				}
 			}
 			return true
 		case *ast.Ident:
@@ -570,7 +653,50 @@ func (w *poWalker) allocKind(e ast.Expr) (string, bool) {
 	if name == "Alloc" && recv == "Arena" {
 		return "descriptor", true
 	}
+	// Interprocedural: a helper whose summary ends in a fresh pool
+	// allocation hands the caller ownership just like newX itself.
+	if w.sums != nil {
+		if callee := staticCallee(w.pass.TypesInfo, call); callee != nil {
+			if sum, ok := w.sums.summaryFor(callee); ok && sum.AllocKind != "" {
+				return sum.AllocKind, true
+			}
+		}
+	}
 	return "", false
+}
+
+// aliasGroup resolves a call that returns one of its own arguments to the
+// argument's existing group; the remaining arguments still get their read
+// checks.
+func (w *poWalker) aliasGroup(e ast.Expr, env poEnv) (*poGroup, bool) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || w.sums == nil {
+		return nil, false
+	}
+	callee := staticCallee(w.pass.TypesInfo, call)
+	if callee == nil {
+		return nil, false
+	}
+	sum, ok := w.sums.summaryFor(callee)
+	if !ok || sum.ReturnsParam < 0 || sum.ReturnsParam >= len(call.Args) {
+		return nil, false
+	}
+	id, ok := ast.Unparen(call.Args[sum.ReturnsParam]).(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	obj := w.pass.TypesInfo.Uses[id]
+	if obj == nil {
+		return nil, false
+	}
+	g := env[obj]
+	if g == nil {
+		return nil, false
+	}
+	for _, a := range call.Args {
+		w.checkExpr(a, env)
+	}
+	return g, true
 }
 
 func (w *poWalker) lhsObj(id *ast.Ident) types.Object {

@@ -66,6 +66,10 @@ type roRing struct {
 	// consumerOwned is the subset of plain fields some consumer method
 	// writes; frozen configuration (written only in init) is excluded.
 	consumerOwned map[*types.Var]bool
+	// slotFns are the package's functions whose return value carries a
+	// slot address of this ring (directly or through another such
+	// helper): calls to them are slot pointers at their call sites.
+	slotFns map[*types.Func]bool
 }
 
 func runRingOwner(pass *Pass) error {
@@ -127,6 +131,7 @@ func runRingOwner(pass *Pass) error {
 	}
 
 	for _, r := range rings {
+		r.slotFns = r.slotReturning(pass)
 		// Plain fields written by a consumer method are consumer-owned.
 		for _, m := range r.methods {
 			if m.role != "consumer" {
@@ -310,12 +315,15 @@ func (r *roRing) checkMethod(pass *Pass, m roMethod) {
 	r.checkEscapes(pass, m)
 }
 
-// checkEscapes flags slot addresses that outlive the method (rule 3).
-func (r *roRing) checkEscapes(pass *Pass, m roMethod) {
-	body := m.decl.Body
-
-	// derived is the set of local variables holding a slot address,
-	// grown to a fixed point so chains of aliases are tracked.
+// roSlotTrack builds a slot-pointer predicate for one function body: it
+// grows the set of locals holding a slot address to a fixed point so
+// chains of aliases are tracked, and reports whether an expression
+// evaluates to a slot address — &slots[i], &slots[i].field, an alias
+// local, a selector through either, or a call to a slot-returning
+// helper from slotFns.  Only pointer-typed expressions qualify — a value
+// copy of a slot field (q := slot.item) leaves the slot's memory behind
+// and is the intended way data crosses the ownership boundary.
+func (r *roRing) roSlotTrack(pass *Pass, body *ast.BlockStmt, slotFns map[*types.Func]bool) func(ast.Expr) bool {
 	derived := map[types.Object]bool{}
 	isSlotIndex := func(e ast.Expr) bool {
 		ix, ok := ast.Unparen(e).(*ast.IndexExpr)
@@ -329,11 +337,6 @@ func (r *roRing) checkEscapes(pass *Pass, m roMethod) {
 		f := r.roField(pass, sel)
 		return f != nil && r.slot[f]
 	}
-	// slotPtr reports whether e evaluates to a slot address: &slots[i],
-	// &slots[i].field, an alias local, or a selector through either.
-	// Only pointer-typed expressions qualify — a value copy of a slot
-	// field (q := slot.item) leaves the slot's memory behind and is the
-	// intended way data crosses the ownership boundary.
 	var slotPtr func(e ast.Expr) bool
 	slotPtr = func(e ast.Expr) bool {
 		t := pass.TypesInfo.TypeOf(e)
@@ -361,6 +364,12 @@ func (r *roRing) checkEscapes(pass *Pass, m roMethod) {
 			return derived[pass.TypesInfo.Uses[e]]
 		case *ast.SelectorExpr:
 			return slotPtr(e.X)
+		case *ast.CallExpr:
+			// A helper whose return value is a slot address hands its
+			// caller the same pointer under a new name.
+			if fn := staticCallee(pass.TypesInfo, e); fn != nil {
+				return slotFns[fn]
+			}
 		}
 		return false
 	}
@@ -391,6 +400,57 @@ func (r *roRing) checkEscapes(pass *Pass, m roMethod) {
 			return true
 		})
 	}
+	return slotPtr
+}
+
+// slotReturning finds every function in the package whose return value
+// carries a slot address of this ring, grown to a fixed point so a
+// helper relaying another helper's pointer is included.  Returns inside
+// nested function literals belong to the literal, not the function, and
+// are skipped.
+func (r *roRing) slotReturning(pass *Pass) map[*types.Func]bool {
+	fns := map[*types.Func]bool{}
+	for changed := true; changed; {
+		changed = false
+		for _, file := range pass.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+				if !ok || fns[fn] {
+					continue
+				}
+				slotPtr := r.roSlotTrack(pass, fd.Body, fns)
+				found := false
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					switch x := n.(type) {
+					case *ast.FuncLit:
+						return false
+					case *ast.ReturnStmt:
+						for _, res := range x.Results {
+							if slotPtr(res) {
+								found = true
+							}
+						}
+					}
+					return !found
+				})
+				if found {
+					fns[fn] = true
+					changed = true
+				}
+			}
+		}
+	}
+	return fns
+}
+
+// checkEscapes flags slot addresses that outlive the method (rule 3).
+func (r *roRing) checkEscapes(pass *Pass, m roMethod) {
+	body := m.decl.Body
+	slotPtr := r.roSlotTrack(pass, body, r.slotFns)
 
 	escape := func(pos token.Pos, how string) {
 		pass.Report(pos, "slot address escapes %s via %s; a slot belongs to the consumer after publication and its pointer must not outlive the method",

@@ -74,6 +74,11 @@ const staleAllowRuleDoc = "flag suppression comments (//lint:ignore, //halvet:al
 // scanning.  Rule IDs are "halvet-<analyzer>"; file URIs are made
 // relative to root (the repo checkout) and anchored at %SRCROOT%, which
 // code scanning resolves to the repository root.
+//
+// Identical results (same rule, file, position, and message) are emitted
+// once: a package built both as itself and as a test variant runs every
+// analyzer over the same files twice, and code scanning treats the
+// duplicate as a second alert.
 func EncodeSARIF(findings []Finding, suite []*Analyzer, root string) ([]byte, error) {
 	rules := make([]sarifRule, 0, len(suite)+1)
 	for _, az := range suite {
@@ -87,6 +92,11 @@ func EncodeSARIF(findings []Finding, suite []*Analyzer, root string) ([]byte, er
 		ShortDescription: sarifMessage{Text: staleAllowRuleDoc},
 	})
 
+	type resultKey struct {
+		rule, uri, msg string
+		line, col      int
+	}
+	seen := map[resultKey]bool{}
 	results := make([]sarifResult, 0, len(findings))
 	for _, f := range findings {
 		uri := f.Pos.Filename
@@ -95,6 +105,17 @@ func EncodeSARIF(findings []Finding, suite []*Analyzer, root string) ([]byte, er
 				uri = rel
 			}
 		}
+		key := resultKey{
+			rule: "halvet-" + f.Analyzer,
+			uri:  filepath.ToSlash(uri),
+			msg:  f.Message,
+			line: f.Pos.Line,
+			col:  f.Pos.Column,
+		}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
 		results = append(results, sarifResult{
 			RuleID:  "halvet-" + f.Analyzer,
 			Level:   "error",

@@ -141,3 +141,44 @@ func TestEncodeSARIFShape(t *testing.T) {
 		t.Errorf("out-of-root uri = %v, want /elsewhere/x.go", third["uri"])
 	}
 }
+
+// TestEncodeSARIFDedup checks that byte-identical findings — the same
+// diagnostic surfacing from a package and its test variant — collapse to
+// one result, while findings differing in any key field survive.
+func TestEncodeSARIFDedup(t *testing.T) {
+	in := sarifInput()
+	dup := in[0] // same analyzer, file, position, and message
+	samePosOtherMsg := in[0]
+	samePosOtherMsg.Message = "a different diagnostic at the same position"
+	in = append(in, dup, samePosOtherMsg)
+
+	blob, err := EncodeSARIF(in, Suite(), "/repo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Runs []struct {
+			Results []struct {
+				Message struct{ Text string } `json:"message"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(blob, &doc); err != nil {
+		t.Fatal(err)
+	}
+	results := doc.Runs[0].Results
+	// Three originals + the distinct-message finding; the duplicate is gone.
+	if len(results) != 4 {
+		t.Fatalf("got %d results, want 4 (duplicate collapsed): %s", len(results), blob)
+	}
+	msgs := map[string]int{}
+	for _, r := range results {
+		msgs[r.Message.Text]++
+	}
+	if msgs[in[0].Message] != 1 {
+		t.Errorf("duplicated finding appears %d times, want 1", msgs[in[0].Message])
+	}
+	if msgs[samePosOtherMsg.Message] != 1 {
+		t.Errorf("same-position distinct-message finding appears %d times, want 1", msgs[samePosOtherMsg.Message])
+	}
+}

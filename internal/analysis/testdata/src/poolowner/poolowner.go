@@ -93,3 +93,62 @@ func staleDescriptor(a *names.Arena) names.LDState {
 	a.Free(seq)
 	return ld.State // want `pooled descriptor "ld" used after free`
 }
+
+// --- interprocedural: helpers whose summaries carry the effect ----------
+
+// consumePath frees its argument; callers lose ownership at the call.
+func consumePath(p *path) { freePath(p) }
+
+// consumeDeep frees through two levels of helpers.
+func consumeDeep(p *path) { consumePath(p) }
+
+// stash publishes its argument into package state (escape, not free).
+var stashed *path
+
+func stash(p *path) { stashed = p }
+
+// passThrough returns its own argument: callers hold the same value
+// under a new name.
+func passThrough(p *path) *path { return p }
+
+// makePath allocates through a helper: the caller owns the result.
+func makePath() *path { return newPath() }
+
+// True positive, the PR 2 FIR bug class one call deep: the helper frees,
+// the caller keeps reading.
+func helperUseAfterFree() float64 {
+	p := newPath()
+	consumePath(p)
+	return p.vt // want `pooled FIR path "p" used after free`
+}
+
+// True positive: the free summary folds transitively through helpers.
+func helperDeepUseAfterFree() float64 {
+	p := makePath()
+	consumeDeep(p)
+	return p.vt // want `pooled FIR path "p" used after free`
+}
+
+// True positive: a helper free plus a direct free is a double free.
+func helperDoubleFree() {
+	p := newPath()
+	consumePath(p)
+	freePath(p) // want `pooled FIR path "p" freed twice`
+}
+
+// True positive: an alias returned by a helper shares the group — a free
+// through the alias kills the original too.
+func helperAlias() float64 {
+	p := newPath()
+	q := passThrough(p)
+	freePath(q)
+	return p.vt // want `pooled FIR path "p" used after free`
+}
+
+// Negative: a helper that stores its argument takes ownership with it —
+// tracking ends, later reads are the stash owner's business.
+func helperEscape() float64 {
+	p := newPath()
+	stash(p)
+	return p.vt
+}

@@ -116,3 +116,28 @@ func (r *ring) inspect() {
 }
 
 func sink(*cell) {}
+
+// slotAt is a plain helper whose return value IS a slot address: callers
+// hold consumer-owned memory under a new name.
+func slotAt(r *ring, i uint64) *cell {
+	return &r.slots[i&r.mask]
+}
+
+// True positive: the slot pointer escapes through the helper's return
+// value before being published.
+//
+//halvet:mpsc producer
+func (r *ring) helperLeak() {
+	p := slotAt(r, r.tail.Load())
+	leaked = p // want `slot address escapes helperLeak via assignment`
+}
+
+// Negative: copying the VALUE out of a helper-returned slot pointer is
+// still the intended handoff — the pointer itself never outlives the
+// method.
+//
+//halvet:mpsc consumer
+func (r *ring) helperPeek() int {
+	p := slotAt(r, r.head)
+	return p.val
+}

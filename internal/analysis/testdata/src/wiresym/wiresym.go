@@ -1,0 +1,164 @@
+// Package wiresym is the golden fixture for the wiresym analyzer: each
+// annotated encode/decode pair below either round-trips bit-exactly
+// (sanctioned negatives) or carries one deliberately seeded asymmetry
+// matched by a `// want` comment.
+package wiresym
+
+import "hal/internal/amnet"
+
+// --- clean word pair (negative) -----------------------------------------
+
+//halvet:wire good encode
+func encodeGood(a, b uint32) uint64 {
+	return uint64(a)<<32 | uint64(b)
+}
+
+//halvet:wire good decode
+func decodeGood(w uint64) (uint32, uint32) {
+	return uint32(w >> 32), uint32(w)
+}
+
+// --- clean packet pair with an unannotated packing helper (negative) ----
+
+func stamp(hi, lo uint32) uint64 {
+	return uint64(hi)<<32 | uint64(lo)
+}
+
+//halvet:wire frame encode
+func encodeFrame(seq uint64, hi, lo uint32, flag uint16) amnet.Packet {
+	return amnet.Packet{U0: seq, U1: stamp(hi, lo), U2: uint64(flag)}
+}
+
+//halvet:wire frame decode
+func decodeFrame(p amnet.Packet) (uint64, uint32, uint32, uint16) {
+	return p.U0, uint32(p.U1 >> 32), uint32(p.U1), uint16(p.U2)
+}
+
+// --- field packed but never read ----------------------------------------
+
+//halvet:wire drop encode
+func encodeDrop(hi, lo uint32) uint64 {
+	return uint64(hi)<<32 | uint64(lo) // want `wire schema drop: hi packed into word 0 bits 32-63, but decoder decodeDrop never reads those bits`
+}
+
+//halvet:wire drop decode
+func decodeDrop(w uint64) uint32 {
+	return uint32(w)
+}
+
+// --- width truncation ----------------------------------------------------
+
+//halvet:wire trunc encode
+func encodeTrunc(v uint32) uint64 {
+	return uint64(v) // want `wire schema trunc: v packed into word 0 bits 0-31, but decoder decodeTrunc leaves bits 16-31 unread \(value truncated\)`
+}
+
+//halvet:wire trunc decode
+func decodeTrunc(w uint64) uint16 {
+	return uint16(w)
+}
+
+// --- overlapping bit ranges ----------------------------------------------
+
+//halvet:wire clash encode
+func encodeClash(a, b uint16) uint64 {
+	return uint64(a)<<8 | uint64(b)<<16 // want `wire packing: b \(bits 16-31\) overlaps a \(bits 8-23\) in word 0`
+}
+
+//halvet:wire clash decode
+func decodeClash(w uint64) (uint16, uint16) {
+	return uint16(w >> 8), uint16(w >> 16)
+}
+
+// --- shift off the top of the word ---------------------------------------
+
+//halvet:wire wide encode
+func encodeWide(v uint32) uint64 {
+	return uint64(v) << 40 // want `wire packing: 32-bit value v shifted left by 40 overflows the 64-bit word`
+}
+
+//halvet:wire wide decode
+func decodeWide(w uint64) uint32 {
+	return uint32(w >> 40)
+}
+
+// --- decoder reads bits nothing packs ------------------------------------
+
+//halvet:wire phantom encode
+func encodePhantom(v uint16) uint64 {
+	return uint64(v)
+}
+
+//halvet:wire phantom decode
+func decodePhantom(w uint64) (uint16, uint16) {
+	return uint16(w), uint16(w >> 32) // want `wire schema phantom: decoder decodePhantom reads word 0 bits 32-47, which encoder encodePhantom never packs`
+}
+
+// --- word-shape mismatch -------------------------------------------------
+
+//halvet:wire shape encode
+func encodeShape(v uint64) (uint64, uint64) {
+	return v, v >> 1
+}
+
+//halvet:wire shape decode
+func decodeShape(w uint64) uint64 { // want `wire schema shape: encoder encodeShape emits \[word 0 word 1\] but decoder decodeShape expects \[word 0\]`
+	return w
+}
+
+// --- unpaired annotation -------------------------------------------------
+
+//halvet:wire lonely encode
+func encodeLonely(v uint16) uint64 { // want `wire schema lonely: encoder encodeLonely has no matching decoder`
+	return uint64(v)
+}
+
+// --- duplicate role ------------------------------------------------------
+
+//halvet:wire twin encode
+func encodeTwinA(v uint16) uint64 {
+	return uint64(v)
+}
+
+//halvet:wire twin encode
+func encodeTwinB(v uint16) uint64 { // want `wire schema twin: duplicate encode annotation \(encodeTwinA and encodeTwinB\)`
+	return uint64(v)
+}
+
+//halvet:wire twin decode
+func decodeTwin(w uint64) uint16 {
+	return uint16(w)
+}
+
+// --- malformed directive -------------------------------------------------
+
+//halvet:wire oops
+func badDirective() {} // want `malformed //halvet:wire directive`
+
+// --- pinned struct size: holds (negative) --------------------------------
+
+//halvet:wire slotHeader size=16
+type slotHeader struct {
+	seq  uint64
+	node int32
+	used bool
+}
+
+// --- pinned struct size: drifted -----------------------------------------
+
+//halvet:wire driftHeader size=16
+type driftHeader struct { // want `wire type driftHeader is 24 bytes on amd64, but //halvet:wire pins it at 16 bytes: the wire schema drifted`
+	seq   uint64
+	extra uint64
+	node  int32
+}
+
+// keep the fixture self-contained: silence unused warnings the compiler
+// would otherwise raise for fixture-only symbols.
+var _ = []any{
+	encodeGood, decodeGood, encodeFrame, decodeFrame, encodeDrop, decodeDrop,
+	encodeTrunc, decodeTrunc, encodeClash, decodeClash, encodeWide, decodeWide,
+	encodePhantom, decodePhantom, encodeShape, decodeShape, encodeLonely,
+	encodeTwinA, encodeTwinB, decodeTwin, badDirective,
+	slotHeader{}, driftHeader{},
+}

@@ -1,0 +1,1273 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"math/bits"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WireSym checks that word-encoded wire schemas stay symmetric: for every
+// annotated encoder/decoder pair it symbolically tracks which bits of the
+// carried uint64 words (plain results/params or Packet.U0..U3) each side
+// writes and reads, folding shift/mask/or constants through locals and
+// helper calls, and reports fields packed but never unpacked, bit-range
+// overlaps, width truncation, and pinned wire-struct sizes drifting.
+//
+// Schemas are declared with doc-comment directives:
+//
+//	//halvet:wire <codec> encode      on the encoding function
+//	//halvet:wire <codec> decode      on the decoding function
+//	//halvet:wire <name> size=<bytes> on a type whose size is part of the
+//	                                  wire contract (e.g. names.LD)
+//
+// Bit-range summaries for every function reachable from an annotated
+// codec are exported as cross-package facts, so packing helpers (like
+// core's packNodes) stay transparent to the check in both driver modes.
+var WireSym = &Analyzer{
+	Name: "wiresym",
+	Doc:  "check //halvet:wire encoder/decoder pairs for bit-level schema symmetry over Packet.U0..U3 and pinned wire-struct sizes",
+	Run:  runWireSym,
+}
+
+// WireSeg is one written or read bit range of a word, serialized in
+// facts.  Lo..Hi are inclusive bit positions; Dyn marks a range produced
+// through a non-constant shift (position unknown, any bits possible).
+type WireSeg struct {
+	Lo   int
+	Hi   int
+	Dyn  bool   `json:",omitempty"`
+	Desc string `json:",omitempty"`
+}
+
+// WireSummary is one function's wire behavior: bit ranges written into
+// each word it returns and read from each word it receives.  Keys are
+// "r<i>"/"p<i>" for plain uint64 results/params and "r<i>.U<k>"/
+// "p<i>.U<k>" for amnet.Packet words.
+type WireSummary struct {
+	Writes map[string][]WireSeg `json:",omitempty"`
+	Reads  map[string][]WireSeg `json:",omitempty"`
+}
+
+// wsFacts is wiresym's serialized cross-package state.
+type wsFacts struct {
+	Summaries map[string]WireSummary `json:",omitempty"`
+}
+
+// wsSeg is the in-package form of WireSeg: it keeps the source position
+// for reporting, the write context (one ctx per independent assignment —
+// overlap is only an error within a context), and whether the range is
+// opaque (conservative full-word estimate, exempt from overlap checks).
+type wsSeg struct {
+	lo, hi int
+	dyn    bool
+	op     bool
+	desc   string
+	pos    token.Pos
+	ctx    int
+}
+
+func (s wsSeg) export() WireSeg { return WireSeg{Lo: s.lo, Hi: s.hi, Dyn: s.dyn, Desc: s.desc} }
+
+// wsDiag is a deferred diagnostic: summaries are computed for every
+// function a codec reaches, but packing complaints (overlap, shift off
+// the top) are only reported for functions that carry an annotation.
+type wsDiag struct {
+	pos token.Pos
+	msg string
+}
+
+// wsFunc is one function's computed wire behavior.
+type wsFunc struct {
+	fn      *types.Func
+	decl    *ast.FuncDecl
+	writes  map[string][]wsSeg
+	reads   map[string][]wsSeg
+	pending []wsDiag
+}
+
+func (f *wsFunc) interesting() bool { return len(f.writes) > 0 || len(f.reads) > 0 }
+
+func (f *wsFunc) summary() WireSummary {
+	sum := WireSummary{}
+	if len(f.writes) > 0 {
+		sum.Writes = map[string][]WireSeg{}
+		for k, segs := range f.writes {
+			for _, s := range segs {
+				sum.Writes[k] = append(sum.Writes[k], s.export())
+			}
+		}
+	}
+	if len(f.reads) > 0 {
+		sum.Reads = map[string][]WireSeg{}
+		for k, segs := range f.reads {
+			for _, s := range segs {
+				sum.Reads[k] = append(sum.Reads[k], s.export())
+			}
+		}
+	}
+	return sum
+}
+
+// --- type helpers -------------------------------------------------------
+
+func isUint64(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Uint64
+}
+
+// wsIsPacket reports whether t is amnet.Packet (pointer stripped).
+func wsIsPacket(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	return ok && n.Obj().Name() == "Packet" && isAmnetPkg(n.Obj().Pkg())
+}
+
+// intWidth is the value width in bits of an integer-ish type; unknown
+// types are 64 (a full word, the conservative answer).
+func intWidth(t types.Type) int {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return 64
+	}
+	switch b.Kind() {
+	case types.Bool, types.UntypedBool:
+		return 1
+	case types.Int8, types.Uint8:
+		return 8
+	case types.Int16, types.Uint16:
+		return 16
+	case types.Int32, types.Uint32:
+		return 32
+	}
+	return 64
+}
+
+// wsWordIndex maps a Packet field name to its word index, -1 otherwise.
+func wsWordIndex(name string) int {
+	if len(name) == 2 && name[0] == 'U' && name[1] >= '0' && name[1] <= '3' {
+		return int(name[1] - '0')
+	}
+	return -1
+}
+
+// defOrUse resolves an identifier to its object through either table.
+func defOrUse(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	return info.Uses[id]
+}
+
+// --- summarizer ---------------------------------------------------------
+
+type wsSummarizer struct {
+	pass  *Pass
+	graph *funcGraph
+	memo  map[*types.Func]*wsFunc
+	deps  map[string]map[string]WireSummary
+	ctr   int
+}
+
+func newWsSummarizer(pass *Pass) *wsSummarizer {
+	return &wsSummarizer{
+		pass:  pass,
+		graph: buildFuncGraph(pass),
+		memo:  map[*types.Func]*wsFunc{},
+		deps:  map[string]map[string]WireSummary{},
+	}
+}
+
+func (s *wsSummarizer) nextCtx() int { s.ctr++; return s.ctr }
+
+// localFunc computes (memoized) the wire behavior of a same-package
+// function; cycles see the in-progress empty summary.
+func (s *wsSummarizer) localFunc(fn *types.Func) *wsFunc {
+	decl, ok := s.graph.decls[fn]
+	if !ok {
+		return nil
+	}
+	if f := s.memo[fn]; f != nil {
+		return f
+	}
+	f := &wsFunc{fn: fn, decl: decl, writes: map[string][]wsSeg{}, reads: map[string][]wsSeg{}}
+	s.memo[fn] = f
+	s.compute(f)
+	return f
+}
+
+// calleeSegs resolves a call's wire summary in internal form: local
+// functions keep their precise segments; imported ones are re-marked
+// opaque (positions and contexts do not cross packages).
+func (s *wsSummarizer) calleeSegs(call *ast.CallExpr) (reads, writes map[string][]wsSeg, ok bool) {
+	fn := staticCallee(s.pass.TypesInfo, call)
+	if fn == nil {
+		return nil, nil, false
+	}
+	if f := s.localFunc(fn); f != nil {
+		return f.reads, f.writes, true
+	}
+	pkg := fn.Pkg()
+	if pkg == nil || pkg == s.pass.Pkg {
+		return nil, nil, false
+	}
+	byKey, cached := s.deps[pkg.Path()]
+	if !cached {
+		var facts wsFacts
+		if s.pass.ImportFacts(pkg.Path(), &facts) {
+			byKey = facts.Summaries
+		}
+		s.deps[pkg.Path()] = byKey
+	}
+	sum, found := byKey[funcKeyOf(fn)]
+	if !found {
+		return nil, nil, false
+	}
+	conv := func(m map[string][]WireSeg) map[string][]wsSeg {
+		out := map[string][]wsSeg{}
+		for k, segs := range m {
+			for _, sg := range segs {
+				out[k] = append(out[k], wsSeg{lo: sg.Lo, hi: sg.Hi, dyn: sg.Dyn, op: true, desc: sg.Desc, pos: call.Pos()})
+			}
+		}
+		return out
+	}
+	return conv(sum.Reads), conv(sum.Writes), true
+}
+
+// compute fills in f's writes/reads by walking the body twice: a write
+// walk over uint64 locals and returned words, and a read walk over the
+// word parameters.
+func (s *wsSummarizer) compute(f *wsFunc) {
+	info := s.pass.TypesInfo
+	params := flatParams(info, f.decl)
+	wordParam := map[types.Object]int{}
+	pktParam := map[types.Object]int{}
+	for i, obj := range params {
+		if obj == nil {
+			continue
+		}
+		if isUint64(obj.Type()) {
+			wordParam[obj] = i
+		} else if wsIsPacket(obj.Type()) {
+			pktParam[obj] = i
+		}
+	}
+	sig, _ := f.fn.Type().(*types.Signature)
+	if sig == nil {
+		return
+	}
+	s.writeWalk(f, sig)
+	if len(wordParam)+len(pktParam) > 0 {
+		s.readWalk(f, wordParam, pktParam)
+	}
+	s.checkOverlaps(f)
+}
+
+// --- write side ---------------------------------------------------------
+
+// wsVal is the symbolic value of an expression on the write side: the
+// bit segments it contributes, its value width in bits, and whether that
+// width is precisely known (known widths enable the shift-off-top and
+// overlap checks; unknown ones stay conservative).
+type wsVal struct {
+	segs  []wsSeg
+	width int
+	known bool
+}
+
+func wsOpaque(e ast.Expr, ctx int) wsVal {
+	return wsVal{
+		segs:  []wsSeg{{lo: 0, hi: 63, op: true, desc: types.ExprString(e), pos: e.Pos(), ctx: ctx}},
+		width: 64,
+	}
+}
+
+// wsAccum is the running contents of one uint64 local (or Packet-local
+// word): segments joined by |= share the context of the binding.
+type wsAccum struct {
+	segs []wsSeg
+	ctx  int
+}
+
+func (s *wsSummarizer) writeWalk(f *wsFunc, sig *types.Signature) {
+	info := s.pass.TypesInfo
+	res := sig.Results()
+	hasWords := false
+	for i := 0; i < res.Len(); i++ {
+		if isUint64(res.At(i).Type()) || wsIsPacket(res.At(i).Type()) {
+			hasWords = true
+		}
+	}
+	locals := map[types.Object]*wsAccum{}
+	pktLocals := map[types.Object]map[int]*wsAccum{}
+
+	// bindWord replaces or extends a word accumulator per assign token.
+	bindWord := func(acc **wsAccum, tok token.Token, rhs ast.Expr) {
+		switch tok {
+		case token.ASSIGN, token.DEFINE:
+			ctx := s.nextCtx()
+			v := s.evalWrite(f, locals, rhs, ctx)
+			*acc = &wsAccum{segs: v.segs, ctx: ctx}
+		case token.OR_ASSIGN:
+			if *acc == nil {
+				*acc = &wsAccum{ctx: s.nextCtx()}
+			}
+			v := s.evalWrite(f, locals, rhs, (*acc).ctx)
+			(*acc).segs = append((*acc).segs, v.segs...)
+		default:
+			// ^=, &=, +=, ...: contents no longer traceable.
+			*acc = &wsAccum{segs: wsOpaque(rhs, s.nextCtx()).segs, ctx: s.ctr}
+		}
+	}
+
+	// packetFields evaluates a Packet composite literal's U words.
+	packetFields := func(lit *ast.CompositeLit) map[int]*wsAccum {
+		words := map[int]*wsAccum{}
+		for _, el := range lit.Elts {
+			kv, ok := el.(*ast.KeyValueExpr)
+			if !ok {
+				continue
+			}
+			key, ok := kv.Key.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if k := wsWordIndex(key.Name); k >= 0 {
+				ctx := s.nextCtx()
+				v := s.evalWrite(f, locals, kv.Value, ctx)
+				words[k] = &wsAccum{segs: v.segs, ctx: ctx}
+			}
+		}
+		return words
+	}
+
+	addWord := func(key string, segs []wsSeg) {
+		if len(segs) > 0 {
+			f.writes[key] = append(f.writes[key], segs...)
+		}
+	}
+
+	// handleReturn maps each returned expression onto its result word(s).
+	handleReturn := func(ret *ast.ReturnStmt) {
+		if len(ret.Results) != res.Len() {
+			return // bare return (named results) — not traced
+		}
+		for i, r := range ret.Results {
+			t := res.At(i).Type()
+			r = ast.Unparen(r)
+			switch {
+			case isUint64(t):
+				v := s.evalWrite(f, locals, r, s.nextCtx())
+				addWord("r"+strconv.Itoa(i), v.segs)
+			case wsIsPacket(t):
+				switch x := r.(type) {
+				case *ast.CompositeLit:
+					for k, acc := range packetFields(x) {
+						addWord(fmt.Sprintf("r%d.U%d", i, k), acc.segs)
+					}
+				case *ast.Ident:
+					if words, ok := pktLocals[defOrUse(info, x)]; ok {
+						for k, acc := range words {
+							addWord(fmt.Sprintf("r%d.U%d", i, k), acc.segs)
+						}
+					}
+				case *ast.CallExpr:
+					if _, writes, ok := s.calleeSegs(x); ok {
+						for k := 0; k < 4; k++ {
+							addWord(fmt.Sprintf("r%d.U%d", i, k), writes[fmt.Sprintf("r0.U%d", k)])
+						}
+					}
+				}
+			}
+		}
+	}
+
+	if !hasWords {
+		return // no word results: nothing this walk could attribute
+	}
+
+	ast.Inspect(f.decl.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.DeclStmt:
+			gd, ok := x.Decl.(*ast.GenDecl)
+			if !ok {
+				return false
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for vi, name := range vs.Names {
+					obj := info.Defs[name]
+					if obj == nil || !isUint64(obj.Type()) {
+						continue
+					}
+					acc := &wsAccum{ctx: s.nextCtx()}
+					if vi < len(vs.Values) {
+						v := s.evalWrite(f, locals, vs.Values[vi], acc.ctx)
+						acc.segs = v.segs
+					}
+					locals[obj] = acc
+				}
+			}
+			return false
+		case *ast.AssignStmt:
+			if len(x.Lhs) != len(x.Rhs) {
+				return true // multi-value call binds: contents untraced
+			}
+			for li, lhs := range x.Lhs {
+				lhs = ast.Unparen(lhs)
+				switch l := lhs.(type) {
+				case *ast.Ident:
+					obj := defOrUse(info, l)
+					if obj == nil {
+						continue
+					}
+					if isUint64(obj.Type()) {
+						acc := locals[obj]
+						bindWord(&acc, x.Tok, x.Rhs[li])
+						locals[obj] = acc
+						continue
+					}
+					if wsIsPacket(obj.Type()) && x.Tok != token.OR_ASSIGN {
+						if lit, ok := ast.Unparen(x.Rhs[li]).(*ast.CompositeLit); ok {
+							pktLocals[obj] = packetFields(lit)
+						} else {
+							delete(pktLocals, obj)
+						}
+					}
+				case *ast.SelectorExpr:
+					base, ok := ast.Unparen(l.X).(*ast.Ident)
+					if !ok {
+						continue
+					}
+					k := wsWordIndex(l.Sel.Name)
+					if k < 0 {
+						continue
+					}
+					obj := defOrUse(info, base)
+					if obj == nil || !wsIsPacket(obj.Type()) {
+						continue
+					}
+					words := pktLocals[obj]
+					if words == nil {
+						words = map[int]*wsAccum{}
+						pktLocals[obj] = words
+					}
+					acc := words[k]
+					bindWord(&acc, x.Tok, x.Rhs[li])
+					words[k] = acc
+				}
+			}
+			return true
+		case *ast.ReturnStmt:
+			handleReturn(x)
+			return false
+		}
+		return true
+	})
+}
+
+// evalWrite symbolically evaluates an expression feeding a wire word.
+func (s *wsSummarizer) evalWrite(f *wsFunc, locals map[types.Object]*wsAccum, e ast.Expr, ctx int) wsVal {
+	info := s.pass.TypesInfo
+	e = ast.Unparen(e)
+
+	// Constants first: exact bit pattern.
+	if tv, ok := info.Types[e]; ok && tv.Value != nil && tv.Value.Kind() == constant.Int {
+		if u, exact := constant.Uint64Val(tv.Value); exact {
+			if u == 0 {
+				return wsVal{width: 0, known: true}
+			}
+			bl := bits.Len64(u)
+			return wsVal{
+				segs:  []wsSeg{{lo: 0, hi: bl - 1, desc: types.ExprString(e), pos: e.Pos(), ctx: ctx}},
+				width: bl,
+				known: true,
+			}
+		}
+		return wsOpaque(e, ctx)
+	}
+
+	valueOf := func(x ast.Expr) wsVal {
+		w := intWidth(info.TypeOf(x))
+		if w >= 64 {
+			return wsOpaque(x, ctx)
+		}
+		return wsVal{
+			segs:  []wsSeg{{lo: 0, hi: w - 1, desc: types.ExprString(x), pos: x.Pos(), ctx: ctx}},
+			width: w,
+			known: true,
+		}
+	}
+
+	switch x := e.(type) {
+	case *ast.Ident:
+		if acc, ok := locals[defOrUse(info, x)]; ok {
+			segs := make([]wsSeg, len(acc.segs))
+			copy(segs, acc.segs)
+			return wsVal{segs: segs, width: 64}
+		}
+		return valueOf(x)
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return valueOf(e)
+	case *ast.CallExpr:
+		if tv, ok := info.Types[x.Fun]; ok && tv.IsType() && len(x.Args) == 1 {
+			return wsClip(s.evalWrite(f, locals, x.Args[0], ctx), intWidth(tv.Type))
+		}
+		if _, writes, ok := s.calleeSegs(x); ok {
+			if segs := writes["r0"]; len(segs) > 0 {
+				out := make([]wsSeg, len(segs))
+				for i, sg := range segs {
+					sg.pos = x.Pos()
+					sg.ctx = ctx
+					sg.desc = types.ExprString(x)
+					out[i] = sg
+				}
+				return wsVal{segs: out, width: 64}
+			}
+		}
+		return wsOpaque(e, ctx)
+	case *ast.BinaryExpr:
+		switch x.Op {
+		case token.OR:
+			l := s.evalWrite(f, locals, x.X, ctx)
+			r := s.evalWrite(f, locals, x.Y, ctx)
+			return wsVal{segs: append(l.segs, r.segs...), width: maxInt(l.width, r.width), known: l.known && r.known}
+		case token.SHL:
+			v := s.evalWrite(f, locals, x.X, ctx)
+			k, ok := wsConstInt(info, x.Y)
+			if !ok {
+				return wsVal{segs: []wsSeg{{lo: 0, hi: 63, dyn: true, desc: types.ExprString(e), pos: e.Pos(), ctx: ctx}}, width: 64}
+			}
+			if v.known && v.width > 0 && k+v.width > 64 {
+				f.pending = append(f.pending, wsDiag{
+					pos: e.Pos(),
+					msg: fmt.Sprintf("wire packing: %d-bit value %s shifted left by %d overflows the 64-bit word", v.width, wsDescOf(v), k),
+				})
+			}
+			var segs []wsSeg
+			for _, sg := range v.segs {
+				sg.lo += k
+				sg.hi += k
+				if sg.lo > 63 {
+					continue
+				}
+				if sg.hi > 63 {
+					sg.hi = 63
+				}
+				segs = append(segs, sg)
+			}
+			return wsVal{segs: segs, width: minInt(64, v.width+k), known: v.known}
+		case token.SHR:
+			v := s.evalWrite(f, locals, x.X, ctx)
+			k, ok := wsConstInt(info, x.Y)
+			if !ok {
+				return wsVal{segs: []wsSeg{{lo: 0, hi: 63, dyn: true, desc: types.ExprString(e), pos: e.Pos(), ctx: ctx}}, width: 64}
+			}
+			var segs []wsSeg
+			for _, sg := range v.segs {
+				sg.lo -= k
+				sg.hi -= k
+				if sg.hi < 0 {
+					continue
+				}
+				if sg.lo < 0 {
+					sg.lo = 0
+				}
+				segs = append(segs, sg)
+			}
+			return wsVal{segs: segs, width: maxInt(0, v.width-k), known: v.known}
+		case token.AND:
+			// A constant mask on either side bounds the bit range.
+			if m, ok := wsConstMask(info, x.Y); ok {
+				return wsMask(s.evalWrite(f, locals, x.X, ctx), m)
+			}
+			if m, ok := wsConstMask(info, x.X); ok {
+				return wsMask(s.evalWrite(f, locals, x.Y, ctx), m)
+			}
+		}
+		return wsOpaque(e, ctx)
+	}
+	return wsOpaque(e, ctx)
+}
+
+// wsClip narrows a value through an integer conversion to w bits.
+func wsClip(v wsVal, w int) wsVal {
+	if w >= 64 {
+		return v
+	}
+	var segs []wsSeg
+	for _, sg := range v.segs {
+		if sg.lo >= w {
+			continue
+		}
+		if sg.hi >= w {
+			sg.hi = w - 1
+		}
+		segs = append(segs, sg)
+	}
+	return wsVal{segs: segs, width: minInt(v.width, w), known: true}
+}
+
+// wsMask intersects a value with a constant mask's populated range.
+func wsMask(v wsVal, m uint64) wsVal {
+	if m == 0 {
+		return wsVal{known: true}
+	}
+	lo := bits.TrailingZeros64(m)
+	hi := 63 - bits.LeadingZeros64(m)
+	var segs []wsSeg
+	for _, sg := range v.segs {
+		if sg.hi < lo || sg.lo > hi {
+			continue
+		}
+		if sg.lo < lo {
+			sg.lo = lo
+		}
+		if sg.hi > hi {
+			sg.hi = hi
+		}
+		segs = append(segs, sg)
+	}
+	return wsVal{segs: segs, width: hi + 1, known: true}
+}
+
+func wsConstInt(info *types.Info, e ast.Expr) (int, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return 0, false
+	}
+	k, exact := constant.Int64Val(tv.Value)
+	if !exact || k < 0 || k > 64 {
+		return 0, false
+	}
+	return int(k), true
+}
+
+func wsConstMask(info *types.Info, e ast.Expr) (uint64, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return 0, false
+	}
+	return constant.Uint64Val(tv.Value)
+}
+
+func wsDescOf(v wsVal) string {
+	if len(v.segs) > 0 {
+		return v.segs[0].desc
+	}
+	return "value"
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// checkOverlaps flags two precisely-known segments landing on the same
+// bits of the same word within one write context (one assignment chain):
+// two fields OR-ed into the same bit range clobber each other.
+func (s *wsSummarizer) checkOverlaps(f *wsFunc) {
+	for key, segs := range f.writes {
+		byCtx := map[int][]wsSeg{}
+		for _, sg := range segs {
+			if sg.dyn || sg.op {
+				continue
+			}
+			byCtx[sg.ctx] = append(byCtx[sg.ctx], sg)
+		}
+		for _, group := range byCtx {
+			sort.Slice(group, func(i, j int) bool { return group[i].lo < group[j].lo })
+			for i := 1; i < len(group); i++ {
+				prev, cur := group[i-1], group[i]
+				if cur.lo <= prev.hi {
+					f.pending = append(f.pending, wsDiag{
+						pos: cur.pos,
+						msg: fmt.Sprintf("wire packing: %s (bits %d-%d) overlaps %s (bits %d-%d) in %s",
+							cur.desc, cur.lo, cur.hi, prev.desc, prev.lo, prev.hi, wsKeyLabel(key)),
+					})
+				}
+			}
+		}
+	}
+}
+
+// wsKeyLabel renders a summary key for messages: "U2" for packet words,
+// "word 0" for plain uint64 slots.
+func wsKeyLabel(key string) string {
+	if i := strings.Index(key, ".U"); i >= 0 {
+		return key[i+1:]
+	}
+	n, _ := strconv.Atoi(strings.TrimLeft(key, "pr"))
+	return fmt.Sprintf("word %d", n)
+}
+
+// --- read side ----------------------------------------------------------
+
+// wsFocus is where an expression's value sits inside a wire word: bits
+// [shift, shift+width-1] of the word named by word (or, for isPkt, the
+// whole Packet value at parameter index pkt).
+type wsFocus struct {
+	word  string
+	isPkt bool
+	pkt   int
+	shift int
+	width int
+	dyn   bool
+}
+
+func (s *wsSummarizer) readWalk(f *wsFunc, wordParam, pktParam map[types.Object]int) {
+	info := s.pass.TypesInfo
+	rlocals := map[types.Object]wsFocus{}
+	skip := map[ast.Node]bool{}
+
+	var focusOf func(e ast.Expr) (wsFocus, bool)
+	focusOf = func(e ast.Expr) (wsFocus, bool) {
+		e = ast.Unparen(e)
+		switch x := e.(type) {
+		case *ast.Ident:
+			obj := defOrUse(info, x)
+			if obj == nil {
+				return wsFocus{}, false
+			}
+			if fc, ok := rlocals[obj]; ok {
+				return fc, true
+			}
+			if i, ok := wordParam[obj]; ok {
+				return wsFocus{word: "p" + strconv.Itoa(i), width: 64}, true
+			}
+			if i, ok := pktParam[obj]; ok {
+				return wsFocus{isPkt: true, pkt: i}, true
+			}
+		case *ast.SelectorExpr:
+			base, ok := focusOf(x.X)
+			if ok && base.isPkt {
+				if k := wsWordIndex(x.Sel.Name); k >= 0 {
+					return wsFocus{word: fmt.Sprintf("p%d.U%d", base.pkt, k), width: 64}, true
+				}
+			}
+		case *ast.CallExpr:
+			if tv, ok := info.Types[x.Fun]; ok && tv.IsType() && len(x.Args) == 1 {
+				fc, ok := focusOf(x.Args[0])
+				if ok && !fc.isPkt {
+					if w := intWidth(tv.Type); w < fc.width {
+						fc.width = w
+					}
+					return fc, true
+				}
+			}
+		case *ast.BinaryExpr:
+			switch x.Op {
+			case token.SHR:
+				fc, ok := focusOf(x.X)
+				if !ok || fc.isPkt {
+					return wsFocus{}, false
+				}
+				k, isConst := wsConstInt(info, x.Y)
+				if !isConst {
+					fc.dyn = true
+					return fc, true
+				}
+				fc.shift += k
+				fc.width = maxInt(0, fc.width-k)
+				return fc, true
+			case token.AND:
+				side, mask := x.X, x.Y
+				m, ok := wsConstMask(info, mask)
+				if !ok {
+					side, mask = x.Y, x.X
+					m, ok = wsConstMask(info, mask)
+				}
+				if !ok {
+					return wsFocus{}, false
+				}
+				fc, fok := focusOf(side)
+				if !fok || fc.isPkt {
+					return wsFocus{}, false
+				}
+				if m == 0 {
+					return wsFocus{}, false
+				}
+				lo := bits.TrailingZeros64(m)
+				hi := 63 - bits.LeadingZeros64(m)
+				fc.shift += lo
+				fc.width = maxInt(0, minInt(fc.width-lo, hi-lo+1))
+				return fc, true
+			}
+		}
+		return wsFocus{}, false
+	}
+
+	record := func(fc wsFocus, at ast.Expr) {
+		if fc.isPkt {
+			// Whole-packet use: all four words conservatively read.
+			for k := 0; k < 4; k++ {
+				key := fmt.Sprintf("p%d.U%d", fc.pkt, k)
+				f.reads[key] = append(f.reads[key], wsSeg{lo: 0, hi: 63, op: true, desc: types.ExprString(at), pos: at.Pos()})
+			}
+			return
+		}
+		if fc.width <= 0 {
+			return
+		}
+		sg := wsSeg{lo: fc.shift, hi: minInt(63, fc.shift+fc.width-1), dyn: fc.dyn, desc: types.ExprString(at), pos: at.Pos()}
+		if sg.dyn {
+			sg.lo, sg.hi = 0, 63
+		}
+		f.reads[fc.word] = append(f.reads[fc.word], sg)
+	}
+
+	// mapCalleeReads projects a callee's parameter reads onto the
+	// caller's focused argument.
+	mapCalleeReads := func(call *ast.CallExpr) bool {
+		calleeReads, _, ok := s.calleeSegs(call)
+		if !ok {
+			return false
+		}
+		mapped := false
+		for ai, arg := range call.Args {
+			fc, ok := focusOf(arg)
+			if !ok {
+				continue
+			}
+			argMapped := false
+			prefix := "p" + strconv.Itoa(ai)
+			for key, segs := range calleeReads {
+				rest, found := strings.CutPrefix(key, prefix)
+				if !found || (rest != "" && !strings.HasPrefix(rest, ".U")) {
+					continue
+				}
+				for _, sg := range segs {
+					switch {
+					case fc.isPkt && rest != "":
+						// Whole packet handed through: U-words map verbatim.
+						out := sg
+						out.pos = arg.Pos()
+						f.reads[fmt.Sprintf("p%d%s", fc.pkt, rest)] = append(f.reads[fmt.Sprintf("p%d%s", fc.pkt, rest)], out)
+					case !fc.isPkt && rest == "":
+						// Word argument: compose the callee's range with
+						// where this word's bits came from.
+						out := sg
+						out.pos = arg.Pos()
+						if fc.dyn || sg.dyn {
+							out.dyn, out.lo, out.hi = true, 0, 63
+						} else {
+							if sg.lo >= fc.width {
+								continue
+							}
+							out.lo = fc.shift + sg.lo
+							out.hi = minInt(63, fc.shift+minInt(sg.hi, fc.width-1))
+						}
+						f.reads[fc.word] = append(f.reads[fc.word], out)
+					}
+				}
+				argMapped = true
+			}
+			if argMapped {
+				skip[arg] = true
+				mapped = true
+			}
+		}
+		return mapped
+	}
+
+	ast.Inspect(f.decl.Body, func(n ast.Node) bool {
+		if n == nil || skip[n] {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+					skip[id] = true
+				}
+			}
+			if (x.Tok == token.ASSIGN || x.Tok == token.DEFINE) && len(x.Lhs) == len(x.Rhs) {
+				for i, lhs := range x.Lhs {
+					id, ok := ast.Unparen(lhs).(*ast.Ident)
+					if !ok {
+						continue
+					}
+					obj := defOrUse(info, id)
+					if obj == nil {
+						continue
+					}
+					if fc, ok := focusOf(x.Rhs[i]); ok && !fc.isPkt {
+						rlocals[obj] = fc
+						skip[x.Rhs[i]] = true
+					} else {
+						delete(rlocals, obj)
+					}
+				}
+			}
+			return true
+		case *ast.CallExpr:
+			if tv, ok := info.Types[x.Fun]; ok && tv.IsType() {
+				break // conversion: handled by the focus logic below
+			}
+			if mapCalleeReads(x) {
+				return true
+			}
+			return true
+		}
+		if e, ok := n.(ast.Expr); ok {
+			if fc, ok := focusOf(e); ok {
+				record(fc, e)
+				return false
+			}
+			// A non-word field of a packet (p.Handler, p.Payload) is not
+			// a wire-word read.
+			if sel, ok := e.(*ast.SelectorExpr); ok {
+				if fc, ok := focusOf(sel.X); ok && fc.isPkt {
+					return false
+				}
+			}
+		}
+		return true
+	})
+}
+
+// --- annotations --------------------------------------------------------
+
+type wsAnnot struct {
+	codec string
+	role  string // "encode" or "decode"
+	fn    *types.Func
+	decl  *ast.FuncDecl
+}
+
+type wsSize struct {
+	name  string
+	bytes int64
+	typ   types.Type
+	pos   token.Pos
+}
+
+// wsDirective extracts the payload of a //halvet:wire comment line.
+func wsDirective(text string) (string, bool) {
+	rest, found := strings.CutPrefix(text, "//halvet:wire")
+	if !found {
+		return "", false
+	}
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return "", false
+	}
+	return strings.TrimSpace(rest), true
+}
+
+// collectWireAnnots scans declaration doc comments for //halvet:wire
+// directives.  Malformed directives are returned as deferred diagnostics
+// anchored at the annotated declaration.
+func collectWireAnnots(pass *Pass) (fns []wsAnnot, sizes []wsSize, bad []wsDiag) {
+	malformed := func(pos token.Pos, rest string) {
+		bad = append(bad, wsDiag{
+			pos: pos,
+			msg: fmt.Sprintf("malformed //halvet:wire directive %q (want \"//halvet:wire <codec> encode|decode\" on a function or \"//halvet:wire <name> size=<bytes>\" on a type)", "//halvet:wire "+rest),
+		})
+	}
+	scanDoc := func(doc *ast.CommentGroup, each func(rest string, pos token.Pos)) {
+		if doc == nil {
+			return
+		}
+		for _, c := range doc.List {
+			if rest, ok := wsDirective(c.Text); ok {
+				each(rest, c.Pos())
+			}
+		}
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				scanDoc(d.Doc, func(rest string, _ token.Pos) {
+					fields := strings.Fields(rest)
+					if len(fields) != 2 || (fields[1] != "encode" && fields[1] != "decode") {
+						malformed(d.Pos(), rest)
+						return
+					}
+					fn, _ := pass.TypesInfo.Defs[d.Name].(*types.Func)
+					if fn == nil || d.Body == nil {
+						malformed(d.Pos(), rest)
+						return
+					}
+					fns = append(fns, wsAnnot{codec: fields[0], role: fields[1], fn: fn, decl: d})
+				})
+			case *ast.GenDecl:
+				if d.Tok != token.TYPE {
+					continue
+				}
+				for _, spec := range d.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					doc := ts.Doc
+					if doc == nil && len(d.Specs) == 1 {
+						doc = d.Doc
+					}
+					scanDoc(doc, func(rest string, _ token.Pos) {
+						fields := strings.Fields(rest)
+						if len(fields) != 2 || !strings.HasPrefix(fields[1], "size=") || fields[0] != ts.Name.Name {
+							malformed(ts.Pos(), rest)
+							return
+						}
+						n, err := strconv.ParseInt(strings.TrimPrefix(fields[1], "size="), 10, 64)
+						if err != nil || n <= 0 {
+							malformed(ts.Pos(), rest)
+							return
+						}
+						obj := pass.TypesInfo.Defs[ts.Name]
+						if obj == nil {
+							malformed(ts.Pos(), rest)
+							return
+						}
+						sizes = append(sizes, wsSize{name: ts.Name.Name, bytes: n, typ: obj.Type(), pos: ts.Pos()})
+					})
+				}
+			}
+		}
+	}
+	return fns, sizes, bad
+}
+
+// --- pair checking ------------------------------------------------------
+
+// wsWord is one logical wire word of a codec's signature.
+type wsWord struct {
+	label string // "U2" or "word 0" — must match across the pair
+	key   string // summary key on this side
+}
+
+// wsShape lists the wire words of a tuple: plain uint64 members are one
+// word each, Packet members contribute U0..U3.
+func wsShape(tup *types.Tuple, prefix string) []wsWord {
+	var words []wsWord
+	rank := 0
+	for i := 0; i < tup.Len(); i++ {
+		t := tup.At(i).Type()
+		switch {
+		case isUint64(t):
+			words = append(words, wsWord{label: fmt.Sprintf("word %d", rank), key: prefix + strconv.Itoa(i)})
+			rank++
+		case wsIsPacket(t):
+			for k := 0; k < 4; k++ {
+				words = append(words, wsWord{label: fmt.Sprintf("U%d", k), key: fmt.Sprintf("%s%d.U%d", prefix, i, k)})
+			}
+		}
+	}
+	return words
+}
+
+func wsShapeString(words []wsWord) string {
+	labels := make([]string, len(words))
+	for i, w := range words {
+		labels[i] = w.label
+	}
+	return "[" + strings.Join(labels, " ") + "]"
+}
+
+func wsSegMask(lo, hi int) uint64 {
+	if hi >= 63 {
+		if lo == 0 {
+			return ^uint64(0)
+		}
+		return ^uint64(0) << lo
+	}
+	return (^uint64(0) << lo) &^ (^uint64(0) << (hi + 1))
+}
+
+// wsFirstGap returns the lowest run of bits present in want but absent
+// from have.
+func wsFirstGap(want, have uint64) (lo, hi int) {
+	miss := want &^ have
+	lo = bits.TrailingZeros64(miss)
+	hi = lo
+	for hi+1 < 64 && miss&(1<<(hi+1)) != 0 {
+		hi++
+	}
+	return lo, hi
+}
+
+// checkPair compares one encoder/decoder pair word by word.
+func checkPair(pass *Pass, codec string, enc, dec *wsFunc) {
+	encSig := enc.fn.Type().(*types.Signature)
+	decSig := dec.fn.Type().(*types.Signature)
+	encWords := wsShape(encSig.Results(), "r")
+	decWords := wsShape(decSig.Params(), "p")
+	encShape, decShape := wsShapeString(encWords), wsShapeString(decWords)
+	if encShape != decShape {
+		pass.Report(dec.decl.Pos(), "wire schema %s: encoder %s emits %s but decoder %s expects %s",
+			codec, enc.fn.Name(), encShape, dec.fn.Name(), decShape)
+		return
+	}
+	for wi, ew := range encWords {
+		dw := decWords[wi]
+		W := enc.writes[ew.key]
+		R := dec.reads[dw.key]
+		switch {
+		case len(W) > 0 && len(R) == 0:
+			pass.Report(W[0].pos, "wire schema %s: encoder %s packs %s but decoder %s never reads it",
+				codec, enc.fn.Name(), ew.label, dec.fn.Name())
+			continue
+		case len(W) == 0 && len(R) > 0:
+			pass.Report(R[0].pos, "wire schema %s: decoder %s reads %s, which encoder %s never writes",
+				codec, dec.fn.Name(), dw.label, enc.fn.Name())
+			continue
+		}
+		dynRead, dynWrite := false, false
+		var rbits, wbits uint64
+		for _, sg := range R {
+			if sg.dyn {
+				dynRead = true
+				continue
+			}
+			rbits |= wsSegMask(sg.lo, sg.hi)
+		}
+		for _, sg := range W {
+			if sg.dyn {
+				dynWrite = true
+				continue
+			}
+			wbits |= wsSegMask(sg.lo, sg.hi)
+		}
+		if !dynRead {
+			for _, sg := range W {
+				if sg.dyn {
+					continue
+				}
+				m := wsSegMask(sg.lo, sg.hi)
+				cov := m & rbits
+				if cov == 0 {
+					pass.Report(sg.pos, "wire schema %s: %s packed into %s bits %d-%d, but decoder %s never reads those bits",
+						codec, sg.desc, ew.label, sg.lo, sg.hi, dec.fn.Name())
+				} else if cov != m {
+					lo, hi := wsFirstGap(m, rbits)
+					pass.Report(sg.pos, "wire schema %s: %s packed into %s bits %d-%d, but decoder %s leaves bits %d-%d unread (value truncated)",
+						codec, sg.desc, ew.label, sg.lo, sg.hi, dec.fn.Name(), lo, hi)
+				}
+			}
+		}
+		if !dynWrite {
+			for _, sg := range R {
+				if sg.dyn || sg.op {
+					continue
+				}
+				if wsSegMask(sg.lo, sg.hi)&wbits == 0 {
+					pass.Report(sg.pos, "wire schema %s: decoder %s reads %s bits %d-%d, which encoder %s never packs",
+						codec, dec.fn.Name(), dw.label, sg.lo, sg.hi, enc.fn.Name())
+				}
+			}
+		}
+	}
+}
+
+// --- driver entry -------------------------------------------------------
+
+func runWireSym(pass *Pass) error {
+	fns, sizes, bad := collectWireAnnots(pass)
+	s := newWsSummarizer(pass)
+	for _, a := range fns {
+		s.localFunc(a.fn)
+	}
+
+	// Export every summary the annotated codecs reached (helpers
+	// included), so downstream packages can fold through them.
+	out := map[string]WireSummary{}
+	for fn, f := range s.memo {
+		if f.interesting() {
+			out[funcKeyOf(fn)] = f.summary()
+		}
+	}
+	if len(out) > 0 {
+		if err := pass.ExportFacts(wsFacts{Summaries: out}); err != nil {
+			return err
+		}
+	}
+	if pass.FactsOnly {
+		return nil
+	}
+
+	for _, d := range bad {
+		pass.Report(d.pos, "%s", d.msg)
+	}
+
+	// Packing complaints surface only on annotated functions: helpers get
+	// their own report when (and only when) they carry an annotation.
+	for _, a := range fns {
+		if f := s.memo[a.fn]; f != nil {
+			for _, d := range f.pending {
+				pass.Report(d.pos, "%s", d.msg)
+			}
+		}
+	}
+
+	// Pinned wire-struct sizes, measured with the standard gc/amd64
+	// layout so the check is host-independent.
+	std := types.SizesFor("gc", "amd64")
+	for _, sz := range sizes {
+		if got := std.Sizeof(sz.typ); got != sz.bytes {
+			pass.Report(sz.pos, "wire type %s is %d bytes on amd64, but //halvet:wire pins it at %d bytes: the wire schema drifted",
+				sz.name, got, sz.bytes)
+		}
+	}
+
+	// Pair up codecs.
+	type pair struct{ enc, dec []wsAnnot }
+	codecs := map[string]*pair{}
+	var order []string
+	for _, a := range fns {
+		p := codecs[a.codec]
+		if p == nil {
+			p = &pair{}
+			codecs[a.codec] = p
+			order = append(order, a.codec)
+		}
+		if a.role == "encode" {
+			p.enc = append(p.enc, a)
+		} else {
+			p.dec = append(p.dec, a)
+		}
+	}
+	sort.Strings(order)
+	for _, codec := range order {
+		p := codecs[codec]
+		for _, dup := range [2][]wsAnnot{p.enc, p.dec} {
+			for i := 1; i < len(dup); i++ {
+				pass.Report(dup[i].decl.Pos(), "wire schema %s: duplicate %s annotation (%s and %s)",
+					codec, dup[i].role, dup[0].fn.Name(), dup[i].fn.Name())
+			}
+		}
+		switch {
+		case len(p.enc) == 0:
+			pass.Report(p.dec[0].decl.Pos(), "wire schema %s: decoder %s has no matching encoder", codec, p.dec[0].fn.Name())
+		case len(p.dec) == 0:
+			pass.Report(p.enc[0].decl.Pos(), "wire schema %s: encoder %s has no matching decoder", codec, p.enc[0].fn.Name())
+		default:
+			checkPair(pass, codec, s.memo[p.enc[0].fn], s.memo[p.dec[0].fn])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestWireSymFixture(t *testing.T) {
+	runFixture(t, WireSym, "wiresym")
+}

@@ -31,17 +31,23 @@ import (
 // slots are 16-bit, wide enough for any partition this simulator runs.
 
 // packNodes packs two node ids into one word (a in the high half).
+//
+//halvet:wire nodes encode
 func packNodes(a, b amnet.NodeID) uint64 {
 	return uint64(uint32(a))<<32 | uint64(uint32(b))
 }
 
 // unpackNodes is the inverse of packNodes.
+//
+//halvet:wire nodes decode
 func unpackNodes(w uint64) (a, b amnet.NodeID) {
 	return amnet.NodeID(int32(uint32(w >> 32))), amnet.NodeID(int32(uint32(w)))
 }
 
 // locPacket word-encodes a location triple: addr is known to live on node
 // under descriptor slot seq.
+//
+//halvet:wire loc encode
 func locPacket(h amnet.HandlerID, dst amnet.NodeID, addr Addr, node amnet.NodeID, seq uint64) amnet.Packet {
 	return amnet.Packet{
 		Handler: h,
@@ -54,6 +60,8 @@ func locPacket(h amnet.HandlerID, dst amnet.NodeID, addr Addr, node amnet.NodeID
 }
 
 // decodeLoc is the inverse of locPacket.
+//
+//halvet:wire loc decode
 func decodeLoc(p amnet.Packet) (addr Addr, node amnet.NodeID, seq uint64) {
 	birth, hint := unpackNodes(p.U1)
 	return Addr{Birth: birth, Hint: hint, Seq: p.U0},
@@ -87,6 +95,8 @@ const (
 
 // encodeReplyValue word-encodes the common scalar reply values.  ok is
 // false when v needs the boxed fallback.
+//
+//halvet:wire reply encode
 func encodeReplyValue(v any) (tag, bits uint64, ok bool) {
 	switch x := v.(type) {
 	case nil:
@@ -105,6 +115,8 @@ func encodeReplyValue(v any) (tag, bits uint64, ok bool) {
 }
 
 // decodeReplyValue is the inverse of encodeReplyValue.
+//
+//halvet:wire reply decode
 func decodeReplyValue(tag, bits uint64) any {
 	switch tag {
 	case replyNil:
@@ -126,6 +138,8 @@ func decodeReplyValue(tag, bits uint64) any {
 const firMaxHops = 7
 
 // encodeFIRPacket word-encodes an FIR if its path fits.
+//
+//halvet:wire fir encode
 func encodeFIRPacket(dst amnet.NodeID, addr Addr, path []amnet.NodeID) (amnet.Packet, bool) {
 	if len(path) > firMaxHops {
 		return amnet.Packet{}, false
@@ -152,6 +166,24 @@ func encodeFIRPacket(dst amnet.NodeID, addr Addr, path []amnet.NodeID) (amnet.Pa
 	}, true
 }
 
+// decodeFIRWords is the pure inverse of encodeFIRPacket: it unpacks the
+// word form into path (appending the decoded hops) and returns the
+// reconstructed request.
+//
+//halvet:wire fir decode
+func decodeFIRWords(p amnet.Packet, path []amnet.NodeID) firReq {
+	addr, _, _ := decodeLoc(p)
+	cnt := int(p.U3 >> 48)
+	for i := 0; i < cnt; i++ {
+		if i < 4 {
+			path = append(path, amnet.NodeID(uint16(p.U2>>(16*i))))
+		} else {
+			path = append(path, amnet.NodeID(uint16(p.U3>>(16*(i-4)))))
+		}
+	}
+	return firReq{addr: addr, path: path}
+}
+
 // decodeFIR reconstructs a firReq from either wire form.  A word-encoded
 // path is copied into a pooled slice owned by this node; a boxed path
 // arrives with the packet and this node owns it from here on.  Either
@@ -161,17 +193,7 @@ func (n *node) decodeFIR(p amnet.Packet) firReq {
 	if req, ok := p.Payload.(firReq); ok {
 		return req
 	}
-	addr, _, _ := decodeLoc(p)
-	cnt := int(p.U3 >> 48)
-	path := n.newPath()
-	for i := 0; i < cnt; i++ {
-		if i < 4 {
-			path = append(path, amnet.NodeID(uint16(p.U2>>(16*i))))
-		} else {
-			path = append(path, amnet.NodeID(uint16(p.U3>>(16*(i-4)))))
-		}
-	}
-	return firReq{addr: addr, path: path}
+	return decodeFIRWords(p, n.newPath())
 }
 
 // sendFIR transmits one FIR hop, consuming req: a word-encoded path is

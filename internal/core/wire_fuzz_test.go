@@ -1,0 +1,86 @@
+package core
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"hal/internal/amnet"
+)
+
+// FuzzReplyValueRoundTrip checks that every scalar the reply codec
+// accepts survives the word encoding bit-exactly.  The codec is the one
+// place a reply value crosses the wire without its Go type, so a tag or
+// bit-pattern slip silently corrupts join-continuation results.
+func FuzzReplyValueRoundTrip(f *testing.F) {
+	f.Add(uint64(0), int64(0), uint64(0), false)
+	f.Add(uint64(1), int64(-7), uint64(0), true)
+	f.Add(uint64(2), int64(0), math.Float64bits(3.5), false)
+	f.Add(uint64(2), int64(0), uint64(0x7ff8000000000001), false) // NaN payload
+	f.Add(uint64(3), int64(1<<62), uint64(1), true)
+	f.Fuzz(func(t *testing.T, kind uint64, i int64, fbits uint64, b bool) {
+		var v any
+		switch kind % 4 {
+		case 0:
+			v = nil
+		case 1:
+			v = int(i)
+		case 2:
+			v = math.Float64frombits(fbits)
+		case 3:
+			v = b
+		}
+		tag, bits, ok := encodeReplyValue(v)
+		if !ok {
+			t.Fatalf("encodeReplyValue(%#v) rejected a scalar", v)
+		}
+		if tag == replyBoxed {
+			t.Fatalf("encodeReplyValue(%#v) returned ok with the boxed tag", v)
+		}
+		got := decodeReplyValue(tag, bits)
+		switch want := v.(type) {
+		case float64:
+			gf, isF := got.(float64)
+			if !isF || math.Float64bits(gf) != math.Float64bits(want) {
+				t.Fatalf("float round-trip: got %#v, want bits %#x", got, math.Float64bits(want))
+			}
+		default:
+			if got != v {
+				t.Fatalf("round-trip: got %#v, want %#v", got, v)
+			}
+		}
+	})
+}
+
+// FuzzFIRRoundTrip checks that any word-encodable forwarding path comes
+// back from the packet form hop-for-hop: the FIR encoding packs up to
+// seven 16-bit hops plus a count into two words, which is exactly the
+// kind of shift arithmetic an off-by-one quietly truncates.
+func FuzzFIRRoundTrip(f *testing.F) {
+	f.Add(uint64(17), int32(1), int32(2), []byte{})
+	f.Add(uint64(1)<<40, int32(0), int32(3), []byte{0x03, 0x00, 0xff, 0xff})
+	f.Add(uint64(0), int32(-1), int32(-1), []byte{1, 0, 2, 0, 3, 0, 4, 0, 5, 0, 6, 0, 7, 0})
+	f.Fuzz(func(t *testing.T, seq uint64, birth, hint int32, hopBytes []byte) {
+		var path []amnet.NodeID
+		for i := 0; i+1 < len(hopBytes) && len(path) < firMaxHops; i += 2 {
+			path = append(path, amnet.NodeID(binary.LittleEndian.Uint16(hopBytes[i:])))
+		}
+		addr := Addr{Birth: amnet.NodeID(birth), Hint: amnet.NodeID(hint), Seq: seq}
+		pkt, ok := encodeFIRPacket(3, addr, path)
+		if !ok {
+			t.Fatalf("encodeFIRPacket rejected a %d-hop path of 16-bit ids", len(path))
+		}
+		req := decodeFIRWords(pkt, nil)
+		if req.addr != addr {
+			t.Fatalf("addr round-trip: got %v, want %v", req.addr, addr)
+		}
+		if len(req.path) != len(path) {
+			t.Fatalf("path length: got %d, want %d", len(req.path), len(path))
+		}
+		for i := range path {
+			if req.path[i] != path[i] {
+				t.Fatalf("hop %d: got %d, want %d", i, req.path[i], path[i])
+			}
+		}
+	})
+}

@@ -112,6 +112,12 @@ func (s LDState) String() string {
 // LD is a locality descriptor.  Actor and Held hold kernel-owned values
 // (the kernel's actor and message types); they are `any` here because the
 // name server is a substrate below the kernel.
+//
+// The 72-byte size is part of the performance contract (one descriptor
+// per live actor, arena-allocated): the pin below makes halvet-wiresym
+// fail the build if a field lands the struct on a new size bucket.
+//
+//halvet:wire LD size=72
 type LD struct {
 	State LDState
 	// FIRSent dedupes forwarding-information requests per descriptor:
