@@ -9,6 +9,12 @@
 //	halrun cannon   [-n 240] [-grid 4] [-verify]
 //	halrun cholesky [-n 256] [-b 16] [-nodes 4] [-sync pipelined|seq|bcast]
 //	                [-map cyclic|block] [-flow one-active|ack-all|eager] [-verify]
+//	halrun dist     -listen ADDR [-net unix|tcp] [-workers 2] [-nodes 8]
+//	                [-app hopscotch|fib] [-n 18] [-rounds 3]        (leader)
+//	halrun dist     -join ADDR [-net unix|tcp]                      (worker)
+//
+// dist runs ONE process of a multi-process machine over a socket mesh;
+// run the leader and -workers workers concurrently (see dist.go).
 //
 // Every subcommand also accepts -faults and -fault-seed to run the
 // workload over a lossy network with the kernel's recovery protocols on
@@ -48,6 +54,8 @@ func main() {
 		err = runCannon(os.Args[2:])
 	case "cholesky":
 		err = runCholesky(os.Args[2:])
+	case "dist":
+		err = runDist(os.Args[2:])
 	default:
 		usage()
 	}
@@ -58,7 +66,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: halrun {fib|quad|pagerank|cannon|cholesky} [flags]   (-h per subcommand)")
+	fmt.Fprintln(os.Stderr, "usage: halrun {fib|quad|pagerank|cannon|cholesky|dist} [flags]   (-h per subcommand)")
 	os.Exit(2)
 }
 

@@ -85,6 +85,14 @@ type (
 	// control-plane protocols: sequencing, retry with backoff, and
 	// bounded escalation to dead letters.
 	FaultPlan = amnet.FaultPlan
+	// DistConfig places one process's Machine inside a multi-process
+	// partition (Config.Dist): the Transport carries packets between
+	// processes and [Lo, Hi) is the span of node kernels this process
+	// hosts.  See internal/amnet/sock for the socket transport.
+	DistConfig = core.DistConfig
+	// Transport is the pluggable interconnect a distributed Machine
+	// sends through.
+	Transport = amnet.Transport
 	// Event is one recorded kernel trace event (Config.TraceBuffer,
 	// Machine.Trace).
 	Event = core.Event

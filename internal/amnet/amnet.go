@@ -110,6 +110,12 @@ type Config struct {
 	// faults.go).  Nil means a perfect network; the fault-free receive
 	// path costs one extra pointer test per packet.
 	Faults *FaultPlan
+	// Remote, when non-nil, is the wire transport for a machine spanning
+	// several OS processes (transport.go).  Packets addressed to nodes
+	// the transport reports non-resident are handed to it instead of
+	// enqueued locally; nil means the whole machine lives in this
+	// process and the send path is exactly the pre-transport one.
+	Remote Transport
 }
 
 // defaultBatchMax is the per-link coalescing limit when Config.BatchMax
@@ -167,6 +173,17 @@ type Network struct {
 	observer  FaultObserver
 	sealed    atomic.Bool
 	batchPool sync.Pool
+
+	// remote/nonres are the multi-process seam (transport.go): nonres[d]
+	// marks node d as living in another process, and is nil for a
+	// single-process network so the hot send path pays one nil test.
+	remote Transport
+	nonres []bool
+	// injectDiscard, when set, makes Endpoint.Inject drop inbound wire
+	// packets instead of delivering them: the machine is shutting down
+	// and its node goroutines have stopped draining rings, so a blocked
+	// transport reader must not wedge a peer process's writer.
+	injectDiscard atomic.Bool
 }
 
 // NewNetwork builds a network with the given configuration.  Handlers must
@@ -196,8 +213,53 @@ func NewNetwork(cfg Config) (*Network, error) {
 			nw.eps[i].faults = newEPFaults(cfg.Faults, cfg.Nodes, NodeID(i))
 		}
 	}
+	if cfg.Remote != nil {
+		nw.remote = cfg.Remote
+		nw.nonres = make([]bool, cfg.Nodes)
+		any := false
+		for i := range nw.nonres {
+			if !cfg.Remote.Resident(NodeID(i)) {
+				nw.nonres[i] = true
+				any = true
+			}
+		}
+		if !any {
+			nw.nonres = nil // every node is local; keep the fast path
+		}
+	}
 	registerBulkHandlers(nw)
 	return nw, nil
+}
+
+// isRemote reports whether node d's kernel runs in another process.
+func (nw *Network) isRemote(d NodeID) bool {
+	return nw.nonres != nil && nw.nonres[d]
+}
+
+// IsRemote is the exported form of isRemote, for the kernel's routing
+// decisions (e.g. bulk payloads to non-resident nodes stay framed).
+func (nw *Network) IsRemote(d NodeID) bool { return nw.isRemote(d) }
+
+// Remote returns the wire transport, nil for a single-process network.
+func (nw *Network) Remote() Transport { return nw.remote }
+
+// StartTransport attaches and starts the wire transport, if any.  Called
+// once by the machine after handler registration, before node goroutines
+// begin polling.
+func (nw *Network) StartTransport() error {
+	if nw.remote == nil {
+		return nil
+	}
+	nw.injectDiscard.Store(false)
+	return nw.remote.Start(nw)
+}
+
+// SetInjectDiscard switches inbound wire packets between delivery and
+// discard.  The machine sets discard when its node goroutines stop
+// draining rings (shutdown), so transport readers blocked in Inject
+// unwind instead of wedging peer writers.
+func (nw *Network) SetInjectDiscard(discard bool) {
+	nw.injectDiscard.Store(discard)
 }
 
 // Nodes returns the number of endpoints.
@@ -463,12 +525,47 @@ func (ep *Endpoint) Send(p Packet) {
 
 // sendStamped injects an already-stamped packet as a single inbox item.
 func (ep *Endpoint) sendStamped(p Packet) {
+	if ep.net.isRemote(p.Dst) {
+		ep.sendRemote(p, false)
+		return
+	}
 	dst := ep.net.eps[p.Dst]
 	ep.stats.Sent++
 	ep.reserveOrStall(dst, 1)
 	// Tokens are released only when the receiver dequeues the item, so a
 	// successful reservation guarantees a free ring slot.
 	dst.enqueue(qItem{pkt: p})
+}
+
+// remoteStallPause paces the retry loop when the wire transport's
+// outbound queue is full and this endpoint's own inbox is empty: there
+// is nothing to drain locally, so progress depends on the peer process.
+const remoteStallPause = 50 * time.Microsecond
+
+// sendRemote hands an already-stamped packet to the wire transport,
+// applying the CMAM poll-while-stalled discipline when the transport
+// refuses: the sender drains its own inbox between retries, so a wait
+// cycle across processes resolves exactly like one across full in-memory
+// links (every stalled PE keeps consuming, which frees its peers).
+//
+//halvet:allowblock the sanctioned poll-while-stalled discipline: the retry loop drains this endpoint's own ring between TrySend attempts, exactly like reserveOrStall on a full in-memory link
+//halvet:allowwallclock remote-link backpressure pacing is host-time: the peer process's drain rate is invisible to virtual time, and a parked sender's VT is frozen
+func (ep *Endpoint) sendRemote(p Packet, urgent bool) {
+	ep.stats.Sent++
+	r := ep.net.remote
+	if r.TrySend(p, urgent) {
+		return
+	}
+	ep.stats.SendStalls++
+	for !r.TrySend(p, urgent) {
+		if ep.depth < maxPollDepth {
+			if q, ok := ep.ring.pop(); ok {
+				ep.consume(q)
+				continue
+			}
+		}
+		time.Sleep(remoteStallPause)
+	}
 }
 
 // SendBatched injects p like Send, but may coalesce it with other packets
@@ -490,8 +587,14 @@ func (ep *Endpoint) sendCoalesced(p Packet, urgent bool) {
 	ep.net.sealed.Store(true)
 	p.Src = ep.id
 	b := &ep.out[p.Dst]
-	if urgent || p.Payload != nil ||
-		int(ep.net.eps[p.Dst].inq.Load()) >= ep.net.cfg.BatchMax*batchBypassFactor {
+	direct := urgent || p.Payload != nil
+	if !direct && !ep.net.isRemote(p.Dst) {
+		// The backlog bypass reads the destination's inbox depth, which
+		// only exists for resident nodes; remote links coalesce purely by
+		// batch size and VT window and let the wire writer pace itself.
+		direct = int(ep.net.eps[p.Dst].inq.Load()) >= ep.net.cfg.BatchMax*batchBypassFactor
+	}
+	if direct {
 		// Three cases ride the direct path.  Urgent packets by contract.
 		// Boxed payloads do not coalesce: they are the high-volume
 		// message traffic, and every detached buffer holding them sits
@@ -503,6 +606,12 @@ func (ep *Endpoint) sendCoalesced(p Packet, urgent bool) {
 		// then inject by value.
 		ep.flushDst(p.Dst)
 		if !b.flushing {
+			if ep.net.isRemote(p.Dst) {
+				// Preserve the urgency bit across the wire: the link
+				// writer flushes urgent frames immediately.
+				ep.sendRemote(p, urgent)
+				return
+			}
 			ep.sendStamped(p)
 			return
 		}
@@ -606,8 +715,20 @@ const batchReserveRounds = 128
 // splits into per-packet sends; delivery order is preserved either way.
 func (ep *Endpoint) injectBatch(dst NodeID, buf *[]Packet) {
 	k := len(*buf)
-	d := ep.net.eps[dst]
 	ep.stats.FlushOcc.Observe(float64(k))
+	if ep.net.isRemote(dst) {
+		// A remote batch has no ring slot to share; the coalescing win is
+		// the single wire flush the link writer performs after draining
+		// these packets back-to-back.
+		ep.stats.Batches++
+		ep.stats.BatchedPkts += uint64(k)
+		for _, p := range *buf {
+			ep.sendRemote(p, false)
+		}
+		ep.net.freeBatch(buf)
+		return
+	}
+	d := ep.net.eps[dst]
 	if k <= ep.net.cfg.InboxCap && ep.reserveBounded(d, int64(k), batchReserveRounds) {
 		ep.stats.Sent += uint64(k)
 		ep.stats.Batches++
@@ -688,6 +809,14 @@ func (ep *Endpoint) DiscardOutbound() {
 func (ep *Endpoint) TrySend(p Packet) bool {
 	ep.net.sealed.Store(true)
 	p.Src = ep.id
+	if ep.net.isRemote(p.Dst) {
+		if !ep.net.remote.TrySend(p, false) {
+			ep.stats.TryStalls++
+			return false
+		}
+		ep.stats.Sent++
+		return true
+	}
 	dst := ep.net.eps[p.Dst]
 	if !dst.reserve(1) {
 		ep.stats.TryStalls++
@@ -872,6 +1001,66 @@ func (ep *Endpoint) PollDiscard() bool {
 	} else {
 		ep.release(1)
 	}
+	return true
+}
+
+// injectRecheck is how often a blocked Inject re-checks the network's
+// shutdown-discard flag: a reader parked on a full ring whose consumer
+// just exited would otherwise wait forever for a release.
+const injectRecheck = 2 * time.Millisecond
+
+// Inject publishes a transport-delivered packet into this endpoint's
+// inbox, blocking until inbox capacity frees.  It is the wire analog of
+// a peer's reserveOrStall — same token reservation, same wake baton —
+// except the caller is a transport reader goroutine with no inbox of its
+// own to drain, so backpressure propagates to the peer process through
+// the blocked read instead of through reentrant polling.  The packet
+// then takes the ordinary receive path (fault filter included) at the
+// consumer's next poll.  Safe from any goroutine: Inject only touches
+// the MPSC producer side.  It reports false, dropping the packet, when
+// stop closes or the network is discarding (machine shutdown).
+//
+//halvet:allowblock transport readers park on the same full-inbox edge a stalled sender does; the consumer's dequeue hands the wake baton over, and the shutdown-discard re-check bounds the wait once consumers exit
+//halvet:allowwallclock the shutdown-discard re-check timer runs on host time; a blocked reader's packet has no VT progress to wait on
+func (ep *Endpoint) Inject(p Packet, stop <-chan struct{}) bool {
+	nw := ep.net
+	if nw.injectDiscard.Load() {
+		return false
+	}
+	if ep.reserve(1) {
+		ep.enqueue(qItem{pkt: p})
+		return true
+	}
+	ep.waiters.Add(1)
+	defer func() {
+		ep.waiters.Add(-1)
+		if ep.waiters.Load() > 0 {
+			// Pass a possibly-consumed baton on to the next waiter.
+			select {
+			case ep.spaceWake <- struct{}{}:
+			default:
+			}
+		}
+	}()
+	// Re-test before the first wait: release only signals spaceWake when
+	// a waiter is registered (see reserveBounded's lost-wakeup argument).
+	ok := ep.reserve(1)
+	for !ok {
+		t := time.NewTimer(injectRecheck)
+		select {
+		case <-ep.spaceWake:
+		case <-stop:
+			t.Stop()
+			return false
+		case <-t.C:
+		}
+		t.Stop()
+		if nw.injectDiscard.Load() {
+			return false
+		}
+		ok = ep.reserve(1)
+	}
+	ep.enqueue(qItem{pkt: p})
 	return true
 }
 

@@ -117,6 +117,13 @@ func (b *bulkState) init(ep *Endpoint) {
 // for payloads of at most one segment, the data is injected inline before
 // BulkSend returns (stalling the caller if links are full).
 func (ep *Endpoint) BulkSend(dst NodeID, data []float64, fin Packet) {
+	if ep.net.isRemote(dst) {
+		// The three-phase protocol's bookkeeping (finEnvelope, grant
+		// state) is process-local; the kernel ships cross-process bulk
+		// data inside a single framed packet instead, and the wire's own
+		// flow control replaces the grant protocol.
+		panic("amnet: BulkSend to a non-resident node; frame the data in one packet instead")
+	}
 	// Control packets staged for this link must hit the wire before the
 	// transfer's request/segments, or a small-then-bulk sequence to the
 	// same peer would reorder.

@@ -1,0 +1,180 @@
+// Package sock is the wire transport: it carries amnet packets between
+// the OS processes of a machine that spans more than one, over
+// unix-domain or TCP sockets (amnet.Transport is the seam).
+//
+// The wire format is a length-prefixed frame stream per connection.
+// Every frame is
+//
+//	u32 LE body length | body
+//
+// and the body's first byte selects the frame kind: a packet frame
+// carries one amnet.Packet (fixed 72-byte word section, then the
+// codec-encoded payload bytes, then the bulk data words), and a control
+// frame carries an out-of-band message for the kernel's distributed
+// control plane or the transport's own handshake.  The word section is
+// checked by halvet's wiresym analyzer like the kernel's other four
+// codecs: packFrameMeta/unpackFrameMeta below are the annotated pair.
+//
+// Ordering: one connection per process pair, frames written by a single
+// writer goroutine per link, so per-(src,dst) FIFO holds across the wire
+// exactly as it does across the in-memory ring.  Loss: a dropped
+// connection loses the frames in flight; the kernel's reliable-delivery
+// layer (core/reliable.go) sequences and retries everything that
+// matters, so a redial is just another fault-plan event.
+package sock
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"hal/internal/amnet"
+)
+
+const (
+	// frPacket frames one amnet.Packet; frControl frames an out-of-band
+	// control message (body: kind byte + payload).
+	frPacket  byte = 1
+	frControl byte = 2
+
+	// packetWords is the fixed word section of a packet body: three
+	// meta words (packFrameMeta) + U0..U3 + VT bits + Seq.
+	packetWords = 9
+	packetFixed = packetWords * 8
+
+	// maxFrameBody bounds a frame body (128 MiB): large enough for any
+	// workload segment, small enough that a corrupt length prefix
+	// cannot drive a huge allocation.
+	maxFrameBody = 1 << 27
+)
+
+// packFrameMeta packs a packet's routing and section lengths into the
+// three leading wire words: src/dst node ids (w0, src high), the handler
+// id (w1), and the payload/data byte-section lengths (w2, payload high).
+//
+//halvet:wire frame encode
+func packFrameMeta(src, dst amnet.NodeID, h amnet.HandlerID, payLen, dataLen uint32) (w0, w1, w2 uint64) {
+	return uint64(uint32(src))<<32 | uint64(uint32(dst)),
+		uint64(h),
+		uint64(payLen)<<32 | uint64(dataLen)
+}
+
+// unpackFrameMeta is the inverse of packFrameMeta.
+//
+//halvet:wire frame decode
+func unpackFrameMeta(w0, w1, w2 uint64) (src, dst amnet.NodeID, h amnet.HandlerID, payLen, dataLen uint32) {
+	return amnet.NodeID(int32(uint32(w0 >> 32))), amnet.NodeID(int32(uint32(w0))),
+		amnet.HandlerID(uint8(w1)),
+		uint32(w2 >> 32), uint32(w2)
+}
+
+// appendPacketFrame appends p's complete wire frame (length prefix
+// included) to buf.  payload is the codec-encoded Payload body, empty
+// when p.Payload is nil.
+func appendPacketFrame(buf []byte, p *amnet.Packet, payload []byte) ([]byte, error) {
+	body := 1 + packetFixed + len(payload) + 8*len(p.Data)
+	if body > maxFrameBody {
+		return buf, fmt.Errorf("sock: packet frame body %d exceeds the %d-byte cap", body, maxFrameBody)
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(body))
+	buf = append(buf, frPacket)
+	w0, w1, w2 := packFrameMeta(p.Src, p.Dst, p.Handler, uint32(len(payload)), uint32(8*len(p.Data)))
+	buf = binary.LittleEndian.AppendUint64(buf, w0)
+	buf = binary.LittleEndian.AppendUint64(buf, w1)
+	buf = binary.LittleEndian.AppendUint64(buf, w2)
+	buf = binary.LittleEndian.AppendUint64(buf, p.U0)
+	buf = binary.LittleEndian.AppendUint64(buf, p.U1)
+	buf = binary.LittleEndian.AppendUint64(buf, p.U2)
+	buf = binary.LittleEndian.AppendUint64(buf, p.U3)
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(p.VT))
+	buf = binary.LittleEndian.AppendUint64(buf, p.Seq)
+	buf = append(buf, payload...)
+	for _, v := range p.Data {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	return buf, nil
+}
+
+// parsePacketBody decodes a packet frame's body (the kind byte already
+// stripped).  The returned payload aliases body and must be consumed
+// before the caller reuses its read buffer; Data is freshly allocated
+// (it outlives the frame inside the destination inbox).
+func parsePacketBody(body []byte) (p amnet.Packet, payload []byte, err error) {
+	if len(body) < packetFixed {
+		return p, nil, fmt.Errorf("sock: truncated packet frame: %d bytes, want at least %d", len(body), packetFixed)
+	}
+	w0 := binary.LittleEndian.Uint64(body[0:])
+	w1 := binary.LittleEndian.Uint64(body[8:])
+	w2 := binary.LittleEndian.Uint64(body[16:])
+	src, dst, h, payLen, dataLen := unpackFrameMeta(w0, w1, w2)
+	p.Src, p.Dst, p.Handler = src, dst, h
+	p.U0 = binary.LittleEndian.Uint64(body[24:])
+	p.U1 = binary.LittleEndian.Uint64(body[32:])
+	p.U2 = binary.LittleEndian.Uint64(body[40:])
+	p.U3 = binary.LittleEndian.Uint64(body[48:])
+	p.VT = math.Float64frombits(binary.LittleEndian.Uint64(body[56:]))
+	p.Seq = binary.LittleEndian.Uint64(body[64:])
+	rest := body[packetFixed:]
+	if uint64(payLen)+uint64(dataLen) != uint64(len(rest)) {
+		return amnet.Packet{}, nil, fmt.Errorf("sock: packet frame sections (%d payload + %d data) disagree with body length %d",
+			payLen, dataLen, len(rest))
+	}
+	if dataLen%8 != 0 {
+		return amnet.Packet{}, nil, fmt.Errorf("sock: packet frame data section %d is not word-aligned", dataLen)
+	}
+	payload = rest[:payLen]
+	if dataLen > 0 {
+		words := rest[payLen:]
+		p.Data = make([]float64, dataLen/8)
+		for i := range p.Data {
+			p.Data[i] = math.Float64frombits(binary.LittleEndian.Uint64(words[8*i:]))
+		}
+	}
+	return p, payload, nil
+}
+
+// appendControlFrame appends a control frame (length prefix included):
+// kind selects the receiver-side dispatch, body rides opaque.
+func appendControlFrame(buf []byte, kind uint8, body []byte) ([]byte, error) {
+	n := 2 + len(body)
+	if n > maxFrameBody {
+		return buf, fmt.Errorf("sock: control frame body %d exceeds the %d-byte cap", n, maxFrameBody)
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(n))
+	buf = append(buf, frControl, kind)
+	buf = append(buf, body...)
+	return buf, nil
+}
+
+// parseControlBody splits a control frame's body (frame kind stripped)
+// into the control kind and its payload.
+func parseControlBody(body []byte) (kind uint8, rest []byte, err error) {
+	if len(body) < 1 {
+		return 0, nil, fmt.Errorf("sock: empty control frame")
+	}
+	return body[0], body[1:], nil
+}
+
+// readFrame reads one frame from r, reusing scratch when it is big
+// enough.  It returns the frame kind, the body with the kind byte
+// stripped, and the (possibly grown) scratch buffer.  Short reads —
+// a connection dying mid-frame — surface as io errors from ReadFull.
+func readFrame(r io.Reader, scratch []byte) (kind byte, body, newScratch []byte, err error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, scratch, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n < 1 || n > maxFrameBody {
+		return 0, nil, scratch, fmt.Errorf("sock: frame body length %d out of range [1,%d]", n, maxFrameBody)
+	}
+	if cap(scratch) < int(n) {
+		scratch = make([]byte, n)
+	}
+	scratch = scratch[:n]
+	if _, err := io.ReadFull(r, scratch); err != nil {
+		return 0, nil, scratch, fmt.Errorf("sock: connection died mid-frame: %w", err)
+	}
+	return scratch[0], scratch[1:], scratch, nil
+}

@@ -1,0 +1,273 @@
+package sock
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"math"
+	"math/rand"
+	"testing"
+
+	"hal/internal/amnet"
+)
+
+// randomPacket builds a packet with every wire-visible field populated
+// from rng; payload is the already-encoded payload section.
+func randomPacket(rng *rand.Rand) (amnet.Packet, []byte) {
+	p := amnet.Packet{
+		Handler: amnet.HandlerID(rng.Intn(256)),
+		Src:     amnet.NodeID(rng.Intn(1 << 16)),
+		Dst:     amnet.NodeID(rng.Intn(1 << 16)),
+		U0:      rng.Uint64(),
+		U1:      rng.Uint64(),
+		U2:      rng.Uint64(),
+		U3:      rng.Uint64(),
+		VT:      rng.Float64() * 1e6,
+		Seq:     rng.Uint64(),
+	}
+	if rng.Intn(2) == 0 {
+		p.Data = make([]float64, rng.Intn(64))
+		for i := range p.Data {
+			p.Data[i] = rng.NormFloat64()
+		}
+		if len(p.Data) == 0 {
+			p.Data = nil
+		}
+	}
+	payload := make([]byte, rng.Intn(128))
+	rng.Read(payload)
+	if len(payload) == 0 {
+		payload = nil
+	}
+	return p, payload
+}
+
+func packetsEqual(a, b amnet.Packet) bool {
+	if a.Handler != b.Handler || a.Src != b.Src || a.Dst != b.Dst ||
+		a.U0 != b.U0 || a.U1 != b.U1 || a.U2 != b.U2 || a.U3 != b.U3 ||
+		math.Float64bits(a.VT) != math.Float64bits(b.VT) || a.Seq != b.Seq ||
+		len(a.Data) != len(b.Data) {
+		return false
+	}
+	for i := range a.Data {
+		if math.Float64bits(a.Data[i]) != math.Float64bits(b.Data[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestFrameMetaRoundTrip pins the annotated wire pair bit for bit.
+func TestFrameMetaRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		src := amnet.NodeID(rng.Int31())
+		dst := amnet.NodeID(rng.Int31())
+		h := amnet.HandlerID(rng.Intn(256))
+		payLen := rng.Uint32()
+		dataLen := rng.Uint32()
+		gs, gd, gh, gp, gl := unpackFrameMeta(packFrameMeta(src, dst, h, payLen, dataLen))
+		if gs != src || gd != dst || gh != h || gp != payLen || gl != dataLen {
+			t.Fatalf("meta round trip: (%d,%d,%d,%d,%d) -> (%d,%d,%d,%d,%d)",
+				src, dst, h, payLen, dataLen, gs, gd, gh, gp, gl)
+		}
+	}
+}
+
+// TestPacketFrameRoundTrip streams random packets through the framer and
+// parser, interleaved with control frames, over one buffer — the same
+// mixed stream a connection carries.
+func TestPacketFrameRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var stream bytes.Buffer
+	type sent struct {
+		pkt     amnet.Packet
+		payload []byte
+		ctl     bool
+		kind    uint8
+		body    []byte
+	}
+	var wantSeq []sent
+	var buf []byte
+	for i := 0; i < 500; i++ {
+		var err error
+		if rng.Intn(4) == 0 {
+			kind := uint8(rng.Intn(256))
+			body := make([]byte, rng.Intn(64))
+			rng.Read(body)
+			buf, err = appendControlFrame(buf[:0], kind, body)
+			wantSeq = append(wantSeq, sent{ctl: true, kind: kind, body: body})
+		} else {
+			p, payload := randomPacket(rng)
+			buf, err = appendPacketFrame(buf[:0], &p, payload)
+			wantSeq = append(wantSeq, sent{pkt: p, payload: payload})
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		stream.Write(buf)
+	}
+
+	var scratch []byte
+	for i, want := range wantSeq {
+		kind, body, s, err := readFrame(&stream, scratch)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		scratch = s
+		if want.ctl {
+			if kind != frControl {
+				t.Fatalf("frame %d: kind %d, want control", i, kind)
+			}
+			ck, rest, err := parseControlBody(body)
+			if err != nil {
+				t.Fatalf("frame %d: %v", i, err)
+			}
+			if ck != want.kind || !bytes.Equal(rest, want.body) {
+				t.Fatalf("frame %d: control (%d, %x) != (%d, %x)", i, ck, rest, want.kind, want.body)
+			}
+			continue
+		}
+		if kind != frPacket {
+			t.Fatalf("frame %d: kind %d, want packet", i, kind)
+		}
+		p, payload, err := parsePacketBody(body)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !packetsEqual(p, want.pkt) {
+			t.Fatalf("frame %d: packet %+v != %+v", i, p, want.pkt)
+		}
+		if !bytes.Equal(payload, want.payload) {
+			t.Fatalf("frame %d: payload %x != %x", i, payload, want.payload)
+		}
+	}
+	if stream.Len() != 0 {
+		t.Fatalf("%d trailing bytes in the stream", stream.Len())
+	}
+}
+
+// TestReadFrameTruncation proves every prefix of a valid frame fails
+// cleanly: header short-reads surface the io error, body short-reads wrap
+// it as a mid-frame death, and no prefix ever parses as a frame.
+func TestReadFrameTruncation(t *testing.T) {
+	p := amnet.Packet{Handler: 7, Src: 1, Dst: 2, U0: 42, VT: 3.5, Seq: 9,
+		Data: []float64{1, 2, 3}}
+	whole, err := appendPacketFrame(nil, &p, []byte("payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(whole); cut++ {
+		_, _, _, err := readFrame(bytes.NewReader(whole[:cut]), nil)
+		if err == nil {
+			t.Fatalf("truncation at %d/%d bytes parsed as a frame", cut, len(whole))
+		}
+		if cut > 4 && err != nil {
+			// Past the header the failure must be the mid-frame wrap, and
+			// it must preserve the io error underneath.
+			if !errorIsUnexpectedEOF(err) {
+				t.Fatalf("truncation at %d: error %v does not wrap an io short-read", cut, err)
+			}
+		}
+	}
+	// The whole frame still parses after all that.
+	kind, body, _, err := readFrame(bytes.NewReader(whole), nil)
+	if err != nil || kind != frPacket {
+		t.Fatalf("whole frame: kind %d err %v", kind, err)
+	}
+	got, payload, err := parsePacketBody(body)
+	if err != nil || !packetsEqual(got, p) || string(payload) != "payload" {
+		t.Fatalf("whole frame: %+v %q %v", got, payload, err)
+	}
+}
+
+func errorIsUnexpectedEOF(err error) bool {
+	for ; err != nil; err = unwrap(err) {
+		if err == io.ErrUnexpectedEOF || err == io.EOF {
+			return true
+		}
+	}
+	return false
+}
+
+func unwrap(err error) error {
+	u, ok := err.(interface{ Unwrap() error })
+	if !ok {
+		return nil
+	}
+	return u.Unwrap()
+}
+
+// TestReadFrameLengthBounds pins the corrupt-length-prefix guards: zero
+// and oversized lengths are rejected before any allocation happens.
+func TestReadFrameLengthBounds(t *testing.T) {
+	for _, n := range []uint32{0, maxFrameBody + 1, math.MaxUint32} {
+		var hdr [4]byte
+		binary.LittleEndian.PutUint32(hdr[:], n)
+		if _, _, _, err := readFrame(bytes.NewReader(hdr[:]), nil); err == nil {
+			t.Fatalf("length %d accepted", n)
+		}
+	}
+}
+
+// TestParsePacketBodyCorruption pins the section-length cross-checks.
+func TestParsePacketBodyCorruption(t *testing.T) {
+	p := amnet.Packet{Handler: 1, Src: 0, Dst: 1, Data: []float64{4, 5}}
+	whole, err := appendPacketFrame(nil, &p, []byte{0xAA, 0xBB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := whole[5:] // strip length prefix + kind byte
+
+	if _, _, err := parsePacketBody(body[:packetFixed-1]); err == nil {
+		t.Fatal("short fixed section accepted")
+	}
+	// Declared payload length disagreeing with the actual body size.
+	bad := append([]byte(nil), body...)
+	binary.LittleEndian.PutUint64(bad[16:], uint64(1)<<32|uint64(16)) // payLen=1
+	if _, _, err := parsePacketBody(bad); err == nil {
+		t.Fatal("section/body length mismatch accepted")
+	}
+	// Non-word-aligned data section.
+	bad = append(bad[:0], body...)
+	binary.LittleEndian.PutUint64(bad[16:], uint64(3)<<32|uint64(15)) // 3+15 == 18 == rest
+	if _, _, err := parsePacketBody(bad); err == nil {
+		t.Fatal("unaligned data section accepted")
+	}
+	// Oversized frame refused at append time.
+	big := amnet.Packet{Data: make([]float64, maxFrameBody/8+1)}
+	if _, err := appendPacketFrame(nil, &big, nil); err == nil {
+		t.Fatal("oversized packet frame accepted")
+	}
+	if _, err := appendControlFrame(nil, 1, make([]byte, maxFrameBody)); err == nil {
+		t.Fatal("oversized control frame accepted")
+	}
+}
+
+// TestReadFrameScratchReuse proves the scratch buffer grows once and is
+// reused: the returned body aliases it, matching the documented contract
+// that callers consume the body before the next readFrame.
+func TestReadFrameScratchReuse(t *testing.T) {
+	var stream bytes.Buffer
+	var buf []byte
+	for i := 0; i < 3; i++ {
+		buf, _ = appendControlFrame(buf[:0], uint8(i), bytes.Repeat([]byte{byte(i)}, 32))
+		stream.Write(buf)
+	}
+	var scratch []byte
+	var lastCap int
+	for i := 0; i < 3; i++ {
+		_, body, s, err := readFrame(&stream, scratch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ck, rest, _ := parseControlBody(body); ck != uint8(i) || len(rest) != 32 {
+			t.Fatalf("frame %d: kind %d len %d", i, ck, len(rest))
+		}
+		scratch = s
+		if i > 0 && cap(s) != lastCap {
+			t.Fatalf("scratch reallocated on same-size frame: %d -> %d", lastCap, cap(s))
+		}
+		lastCap = cap(s)
+	}
+}

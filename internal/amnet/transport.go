@@ -1,0 +1,142 @@
+package amnet
+
+// The transport seam: everything below the endpoint API that moves a
+// packet between processing elements is an interconnect implementation.
+// The in-memory MPSC-ring fabric in this package is the first Transport
+// (a *Network trivially transports packets between its own endpoints);
+// package amnet/sock provides the second, carrying packets between OS
+// processes over unix-domain or TCP sockets.
+//
+// A Network with Config.Remote set spans several processes: endpoints
+// whose node ids the transport reports non-resident have no local kernel
+// goroutine, and packets addressed to them are handed to the transport
+// instead of enqueued on the local ring.  The receiving process's
+// transport injects them through Endpoint.Inject, which runs the same
+// capacity reservation and fault filter as local traffic — a packet that
+// crossed a socket is indistinguishable from one that crossed the ring.
+
+// Transport moves packets between the OS processes of a machine that
+// spans more than one.  Implementations are a full mesh: every process
+// can reach every other.  All methods except Start/Close must be safe
+// for concurrent use; TrySend is called from node kernel goroutines and
+// must never block (the caller owns the CMAM poll-while-stalled
+// discipline and retries).
+type Transport interface {
+	// Self returns this process's index (0 is the leader).
+	Self() int
+	// Procs returns the number of processes spanning the machine.
+	Procs() int
+	// Resident reports whether node id's kernel goroutine runs in this
+	// process.  Ids past the last node (the front end) belong to the
+	// leader.
+	Resident(id NodeID) bool
+	// TrySend offers an already-stamped packet for delivery to the
+	// process owning p.Dst, without blocking.  It reports acceptance;
+	// urgent requests an immediate wire flush (location-repair traffic).
+	// A refusal means the outbound queue is momentarily full — the
+	// caller polls its own inbox and retries, exactly as for a full
+	// in-memory link.
+	TrySend(p Packet, urgent bool) bool
+	// SendControl delivers an out-of-band control message to one peer
+	// process (peer < 0 broadcasts to all others).  Control messages
+	// bypass packet framing and the payload codec; the kernel's
+	// distributed termination protocol rides here.  Unlike TrySend it
+	// may block for backpressure and must not be called from node
+	// kernel goroutines.
+	SendControl(peer int, kind uint8, body []byte) error
+	// OnControl installs the control-message receiver, called on
+	// transport reader goroutines.  Must be set before Start.
+	OnControl(fn func(peer int, kind uint8, body []byte))
+	// SetPayloadCodec installs the codec for Packet.Payload bodies.
+	// Must be set before Start; packets with a nil Payload never touch
+	// the codec.
+	SetPayloadCodec(c PayloadCodec)
+	// Start attaches the transport to its network and begins delivering
+	// inbound traffic through nw's endpoints.  Called once by the
+	// machine after handler registration.
+	Start(nw *Network) error
+	// TransportStats returns a snapshot of wire counters.
+	TransportStats() TransportStats
+	// Close tears the transport down; blocked TrySend retry loops and
+	// Inject calls unwind.
+	Close() error
+}
+
+// PayloadCodec translates Packet.Payload values to and from bytes for a
+// wire transport.  The kernel supplies the implementation (it knows the
+// runtime-protocol body types); transports treat the bytes as opaque.
+type PayloadCodec interface {
+	EncodePayload(p *Packet) ([]byte, error)
+	DecodePayload(b []byte) (any, error)
+}
+
+// TransportStats counts wire traffic.  All counters are cumulative since
+// Start.
+type TransportStats struct {
+	WireSent     uint64 // packet frames written
+	WireRecvd    uint64 // packet frames delivered to local endpoints
+	WireBytesOut uint64 // frame bytes written, length prefixes included
+	WireBytesIn  uint64 // frame bytes read
+	WireDropped  uint64 // outbound packets dropped while a link was down
+	Redials      uint64 // connections re-established after a failure
+	CtlSent      uint64 // control messages written
+	CtlRecvd     uint64 // control messages delivered
+}
+
+// --- the in-memory fabric as the first Transport ------------------------
+//
+// A Network transports packets between its own endpoints: every node is
+// resident, TrySend is a reservation plus a ring push, and there is no
+// wire.  This is the degenerate single-process case the interface is
+// extracted from; it exists so transport-generic code (and tests) can
+// treat "in-memory" and "socket" uniformly.
+
+var _ Transport = (*Network)(nil)
+
+// Self returns 0: a single-process network is its own leader.
+func (nw *Network) Self() int { return 0 }
+
+// Procs returns 1.
+func (nw *Network) Procs() int { return 1 }
+
+// Resident reports true for every node: the whole machine lives here.
+func (nw *Network) Resident(id NodeID) bool { return true }
+
+// TrySend enqueues an already-stamped packet directly on the destination
+// ring, reporting false when the inbox lacks capacity.
+func (nw *Network) TrySend(p Packet, urgent bool) bool {
+	dst := nw.eps[p.Dst]
+	if !dst.reserve(1) {
+		return false
+	}
+	dst.enqueue(qItem{pkt: p})
+	return true
+}
+
+// SendControl fails: a single-process machine has no peers.
+func (nw *Network) SendControl(peer int, kind uint8, body []byte) error {
+	return errNoPeers
+}
+
+// OnControl is a no-op: no peer ever sends control traffic.
+func (nw *Network) OnControl(fn func(peer int, kind uint8, body []byte)) {}
+
+// SetPayloadCodec is a no-op: in-memory payloads move by reference.
+func (nw *Network) SetPayloadCodec(c PayloadCodec) {}
+
+// Start is a no-op; the ring fabric needs no reader goroutines.
+func (nw *Network) Start(attached *Network) error { return nil }
+
+// TransportStats is all zeros: ring traffic is counted per-endpoint.
+func (nw *Network) TransportStats() TransportStats { return TransportStats{} }
+
+// Close is a no-op.
+func (nw *Network) Close() error { return nil }
+
+type noPeersError struct{}
+
+func (noPeersError) Error() string {
+	return "amnet: single-process network has no peer processes"
+}
+
+var errNoPeers = noPeersError{}

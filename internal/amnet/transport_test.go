@@ -1,0 +1,406 @@
+package amnet
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNetworkIsItsOwnTransport pins the degenerate in-memory Transport:
+// a *Network transports packets between its own endpoints, every node is
+// resident, and the peer-facing surface is inert.
+func TestNetworkIsItsOwnTransport(t *testing.T) {
+	nw, err := NewNetwork(Config{Nodes: 2, InboxCap: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr Transport = nw
+	if tr.Self() != 0 || tr.Procs() != 1 {
+		t.Errorf("Self/Procs = %d/%d, want 0/1", tr.Self(), tr.Procs())
+	}
+	if !tr.Resident(0) || !tr.Resident(1) {
+		t.Error("every node of a single-process network is resident")
+	}
+	if err := tr.SendControl(0, 1, nil); err == nil {
+		t.Error("SendControl on a single-process network should fail: no peers")
+	}
+	tr.OnControl(func(int, uint8, []byte) {})
+	tr.SetPayloadCodec(nil)
+	if err := tr.Start(nw); err != nil {
+		t.Errorf("Start: %v", err)
+	}
+	if s := tr.TransportStats(); s != (TransportStats{}) {
+		t.Errorf("stats = %+v, want zeros (ring traffic counts per-endpoint)", s)
+	}
+	if err := tr.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+
+	const h HandlerID = 9
+	got := 0
+	nw.Register(h, func(ep *Endpoint, p Packet) { got++ })
+	// TrySend lands straight on the destination ring...
+	if !tr.TrySend(Packet{Handler: h, Dst: 1}, false) {
+		t.Fatal("TrySend refused with an empty inbox")
+	}
+	// ...and refuses once the inbox is full, without blocking.
+	filled := 1
+	for tr.TrySend(Packet{Handler: h, Dst: 1}, false) {
+		if filled++; filled > 100 {
+			t.Fatal("TrySend never refused on a capacity-4 inbox")
+		}
+	}
+	if n := nw.Endpoint(1).PollAll(); n != filled {
+		t.Errorf("PollAll handled %d, want the %d accepted packets", n, filled)
+	}
+	if got != filled {
+		t.Errorf("handler ran %d times, want %d", got, filled)
+	}
+}
+
+// fakeWire is a test Transport splitting a node set between two Networks
+// in one process: indexes below split live on side 0, the rest on side 1.
+// Packets cross through a bounded queue drained by a deliverer goroutine
+// (so TrySend never blocks and a full queue exercises the sender's
+// poll-while-stalled retry), control messages invoke the peer's callback
+// inline.
+type fakeWire struct {
+	self  int
+	split NodeID
+	peer  *fakeWire
+
+	q     chan Packet
+	nw    *Network
+	onCtl func(peer int, kind uint8, body []byte)
+
+	started chan struct{}
+	stop    chan struct{}
+	wg      sync.WaitGroup
+
+	mu   sync.Mutex
+	ctls []uint8
+}
+
+func newFakePair(split NodeID, qcap int) (*fakeWire, *fakeWire) {
+	a := &fakeWire{self: 0, split: split, q: make(chan Packet, qcap),
+		started: make(chan struct{}), stop: make(chan struct{})}
+	b := &fakeWire{self: 1, split: split, q: make(chan Packet, qcap),
+		started: make(chan struct{}), stop: make(chan struct{})}
+	a.peer, b.peer = b, a
+	return a, b
+}
+
+func (f *fakeWire) Self() int  { return f.self }
+func (f *fakeWire) Procs() int { return 2 }
+
+func (f *fakeWire) Resident(id NodeID) bool {
+	if f.self == 0 {
+		return id < f.split
+	}
+	return id >= f.split
+}
+
+func (f *fakeWire) TrySend(p Packet, urgent bool) bool {
+	select {
+	case f.peer.q <- p:
+		return true
+	default:
+		return false
+	}
+}
+
+func (f *fakeWire) SendControl(peer int, kind uint8, body []byte) error {
+	f.peer.mu.Lock()
+	f.peer.ctls = append(f.peer.ctls, kind)
+	fn := f.peer.onCtl
+	f.peer.mu.Unlock()
+	if fn != nil {
+		fn(f.self, kind, body)
+	}
+	return nil
+}
+
+func (f *fakeWire) OnControl(fn func(peer int, kind uint8, body []byte)) {
+	f.mu.Lock()
+	f.onCtl = fn
+	f.mu.Unlock()
+}
+
+func (f *fakeWire) SetPayloadCodec(c PayloadCodec) {}
+
+func (f *fakeWire) Start(nw *Network) error {
+	f.nw = nw
+	close(f.started)
+	f.wg.Add(1)
+	go func() {
+		defer f.wg.Done()
+		for {
+			select {
+			case p := <-f.q:
+				f.nw.Endpoint(p.Dst).Inject(p, f.stop)
+			case <-f.stop:
+				return
+			}
+		}
+	}()
+	return nil
+}
+
+func (f *fakeWire) TransportStats() TransportStats { return TransportStats{} }
+
+func (f *fakeWire) Close() error {
+	select {
+	case <-f.stop:
+	default:
+		close(f.stop)
+	}
+	f.wg.Wait()
+	return nil
+}
+
+// TestRemoteSeamRoutesBySplit drives the kernel-side transport seam with
+// the fake wire: sends to non-resident nodes leave through the
+// transport, arrive via Inject, and the remote-routing predicates agree
+// with the registry split — all without a socket in sight.
+func TestRemoteSeamRoutesBySplit(t *testing.T) {
+	const nodes, split = 4, 2
+	wa, wb := newFakePair(split, 64)
+	mk := func(w *fakeWire) *Network {
+		nw, err := NewNetwork(Config{Nodes: nodes, Remote: w})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return nw
+	}
+	na, nb := mk(wa), mk(wb)
+	if na.Remote() != Transport(wa) || nb.Remote() != Transport(wb) {
+		t.Fatal("Remote() did not return the configured transport")
+	}
+	for i := NodeID(0); i < nodes; i++ {
+		if got, want := na.IsRemote(i), i >= split; got != want {
+			t.Errorf("side a IsRemote(%d) = %v, want %v", i, got, want)
+		}
+		if got, want := nb.IsRemote(i), i < split; got != want {
+			t.Errorf("side b IsRemote(%d) = %v, want %v", i, got, want)
+		}
+	}
+
+	const h HandlerID = 9
+	gota := make(chan Packet, 16)
+	gotb := make(chan Packet, 16)
+	na.Register(h, func(ep *Endpoint, p Packet) {
+		select {
+		case gota <- p:
+		default:
+		}
+	})
+	nb.Register(h, func(ep *Endpoint, p Packet) {
+		select {
+		case gotb <- p:
+		default:
+		}
+	})
+	if err := na.StartTransport(); err != nil {
+		t.Fatal(err)
+	}
+	if err := nb.StartTransport(); err != nil {
+		t.Fatal(err)
+	}
+	defer wa.Close()
+	defer wb.Close()
+
+	// A resident send stays on the ring (the fake wire sees nothing)...
+	na.Endpoint(0).Send(Packet{Handler: h, Dst: 1})
+	if n := na.Endpoint(1).PollAll(); n != 1 {
+		t.Fatalf("resident send handled %d packets, want 1", n)
+	}
+	<-gota
+	if len(wb.q) != 0 {
+		t.Fatal("a resident send leaked onto the wire")
+	}
+	// ...and a non-resident send crosses to the peer network.
+	na.Endpoint(0).Send(Packet{Handler: h, Dst: 3, U0: 41})
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case <-deadline:
+			t.Fatal("remote packet never arrived")
+		default:
+		}
+		if nb.Endpoint(3).PollAll() > 0 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if p := <-gotb; p.U0 != 41 || p.Src != 0 {
+		t.Fatalf("remote packet = %+v, want Src 0 U0 41", p)
+	}
+
+	// The urgent path (SendNow) takes the same seam.
+	//lint:ignore halvet-repairplane this test covers the urgent remote path itself; no repair traffic exists to overtake
+	nb.Endpoint(3).SendNow(Packet{Handler: h, Dst: 0, U0: 42})
+	for {
+		select {
+		case <-deadline:
+			t.Fatal("urgent remote packet never arrived")
+		default:
+		}
+		if na.Endpoint(0).PollAll() > 0 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if p := <-gota; p.U0 != 42 {
+		t.Fatalf("urgent remote packet = %+v, want U0 42", p)
+	}
+}
+
+// TestSendRemoteStallsAndRecovers fills the transport's outbound queue
+// so sendRemote runs its poll-while-stalled retry loop: the sender keeps
+// draining its own inbox while the wire refuses, and every packet still
+// crosses once the deliverer catches up.
+func TestSendRemoteStallsAndRecovers(t *testing.T) {
+	const nodes, split = 2, 1
+	wa, wb := newFakePair(split, 2) // tiny wire queue: refusals guaranteed
+	na, err := NewNetwork(Config{Nodes: nodes, Remote: wa})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb, err := NewNetwork(Config{Nodes: nodes, Remote: wb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const h HandlerID = 9
+	recvd := make(chan uint64, 256)
+	na.Register(h, func(ep *Endpoint, p Packet) {})
+	nb.Register(h, func(ep *Endpoint, p Packet) {
+		// recvd's capacity exceeds the burst, so the drop arm never runs.
+		select {
+		case recvd <- p.U0:
+		default:
+		}
+	})
+	if err := na.StartTransport(); err != nil {
+		t.Fatal(err)
+	}
+	// Side b's deliverer is NOT started yet: the 2-slot queue fills and
+	// side a's sender must stall without deadlocking.
+	const burst = 64
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		ep := na.Endpoint(0)
+		for i := 0; i < burst; i++ {
+			ep.Send(Packet{Handler: h, Dst: 1, U0: uint64(i)})
+		}
+	}()
+	time.Sleep(10 * time.Millisecond) // let the sender hit the full queue
+	if err := nb.StartTransport(); err != nil {
+		t.Fatal(err)
+	}
+	defer wa.Close()
+	defer wb.Close()
+	seen := make(map[uint64]bool)
+	deadline := time.After(10 * time.Second)
+	for len(seen) < burst {
+		nb.Endpoint(1).PollAll()
+		select {
+		case u := <-recvd:
+			seen[u] = true
+		case <-deadline:
+			t.Fatalf("only %d/%d packets crossed a stalled wire", len(seen), burst)
+		default:
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("sender never unstalled")
+	}
+	if sa := na.Endpoint(0).Stats(); sa.SendStalls == 0 {
+		t.Error("a 2-slot wire under a 64-packet burst should record SendStalls")
+	}
+}
+
+// TestInjectDiscard pins the shutdown contract: once the network is
+// discarding, Inject reports false and delivers nothing, so transport
+// readers unwind instead of wedging peer writers.
+func TestInjectDiscard(t *testing.T) {
+	nw, err := NewNetwork(Config{Nodes: 1, InboxCap: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const h HandlerID = 9
+	nw.Register(h, func(ep *Endpoint, p Packet) {})
+	stop := make(chan struct{})
+	if !nw.Endpoint(0).Inject(Packet{Handler: h, Dst: 0}, stop) {
+		t.Fatal("Inject refused on a live network")
+	}
+	nw.SetInjectDiscard(true)
+	if nw.Endpoint(0).Inject(Packet{Handler: h, Dst: 0}, stop) {
+		t.Fatal("Inject accepted a packet while discarding")
+	}
+	nw.SetInjectDiscard(false)
+	if !nw.Endpoint(0).Inject(Packet{Handler: h, Dst: 0}, stop) {
+		t.Fatal("Inject refused after discard lifted")
+	}
+	if n := nw.Endpoint(0).PollAll(); n != 2 {
+		t.Fatalf("PollAll handled %d packets, want the 2 accepted", n)
+	}
+}
+
+// TestInjectBlocksOnFullInboxUntilDrained covers Inject's wait path: a
+// full inbox parks the injector, and the consumer's drain releases it.
+func TestInjectBlocksOnFullInboxUntilDrained(t *testing.T) {
+	nw, err := NewNetwork(Config{Nodes: 1, InboxCap: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const h HandlerID = 9
+	handled := 0
+	nw.Register(h, func(ep *Endpoint, p Packet) { handled++ })
+	ep := nw.Endpoint(0)
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		if !ep.Inject(Packet{Handler: h, Dst: 0}, stop) {
+			t.Fatalf("Inject %d refused below capacity", i)
+		}
+	}
+	unblocked := make(chan bool, 1)
+	go func() { unblocked <- ep.Inject(Packet{Handler: h, Dst: 0}, stop) }()
+	select {
+	case <-unblocked:
+		t.Fatal("Inject did not block on a full inbox")
+	case <-time.After(20 * time.Millisecond):
+	}
+	if ep.PollAll() != 4 {
+		t.Fatal("drain did not hand back the 4 queued packets")
+	}
+	select {
+	case ok := <-unblocked:
+		if !ok {
+			t.Fatal("unblocked Inject reported failure")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Inject stayed parked after the inbox drained")
+	}
+	if ep.PollAll() != 1 {
+		t.Fatal("the late packet never arrived")
+	}
+
+	// A blocked Inject also unwinds on stop, reporting the drop.
+	for ep.Inject(Packet{Handler: h, Dst: 0}, stop) && ep.Pending() < 4 {
+	}
+	go func() { unblocked <- ep.Inject(Packet{Handler: h, Dst: 0}, stop) }()
+	time.Sleep(10 * time.Millisecond)
+	close(stop)
+	select {
+	case ok := <-unblocked:
+		if ok {
+			t.Fatal("Inject claimed delivery after stop closed")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Inject ignored stop")
+	}
+}

@@ -17,8 +17,13 @@ import (
 // Explicitly safe (whitelisted) methods may be called from any goroutine:
 // Pending (atomic counter, documented cross-goroutine), ID, Net, and
 // Stats-after-stop is the caller's responsibility and not flagged here.
-// The setup-then-handoff idiom stays legal: only method calls made by the
-// spawner AFTER the go statement count as concurrent use.
+// Inject is also safe: it is the producer side of the MPSC inbox ring —
+// the designed entry point for transport reader goroutines delivering
+// inbound wire packets — and participates in the park/wake protocol, so
+// a socket reader injecting while the node kernel polls is the intended
+// split, not an affinity violation.  The setup-then-handoff idiom stays
+// legal: only method calls made by the spawner AFTER the go statement
+// count as concurrent use.
 var EndpointAffinity = &Analyzer{
 	Name: "endpointaffinity",
 	Doc:  "flag amnet.Endpoint methods called from two goroutines (capture by a go literal plus spawner use)",
@@ -31,6 +36,7 @@ var eaSafeMethods = map[string]bool{
 	"ID":      true,
 	"Net":     true,
 	"Stats":   true,
+	"Inject":  true,
 }
 
 func runEndpointAffinity(pass *Pass) error {

@@ -34,3 +34,15 @@ func monitor(ep *amnet.Endpoint) int {
 	}()
 	return ep.Pending()
 }
+
+// Negative: the transport boundary — a socket reader goroutine injecting
+// inbound wire packets while the kernel goroutine polls is the designed
+// split.  Inject is the producer side of the MPSC ring and park/wake
+// safe, so it is whitelisted like Pending.
+func wireReader(ep *amnet.Endpoint, stop chan struct{}) {
+	go func() {
+		ep.Inject(amnet.Packet{Handler: hTick, Dst: 0}, stop)
+	}()
+	for ep.RecvBlock(stop, 0) {
+	}
+}

@@ -145,6 +145,50 @@ type Config struct {
 	// lets an observer (halrun's -debug-addr endpoint) reach the machine
 	// for StatsNow polling anyway.
 	OnMachine func(*Machine)
+
+	// Dist, when non-nil, makes this machine one process of a machine
+	// spanning several OS processes: only the nodes in [Dist.Lo, Dist.Hi)
+	// run kernel goroutines here, and packets to the rest travel
+	// Dist.Transport.  Every participating process must build the machine
+	// with the SAME Nodes, Seed, cost model, and registered types (in the
+	// same order) — the spec blob the transport handshake carries exists
+	// to make that easy.  See dist.go.
+	Dist *DistConfig
+}
+
+// DistConfig configures one process's share of a multi-process machine.
+type DistConfig struct {
+	// Transport carries packets to non-resident nodes (e.g. a
+	// sock.Transport returned by sock.Listen or sock.Join).
+	Transport amnet.Transport
+
+	// Leader marks the process that loads programs, detects global
+	// quiescence, and owns the front end.  Exactly one process (the one
+	// hosting node 0) is the leader.
+	Leader bool
+
+	// Lo, Hi is this process's node span [Lo, Hi); it must match what
+	// Transport.Resident answers.
+	Lo, Hi int
+
+	// ReportEvery is the leader's termination-probe period.  Default 2ms.
+	ReportEvery time.Duration
+}
+
+func (d *DistConfig) validate(nodes int) error {
+	if d.Transport == nil {
+		return fmt.Errorf("core: Dist needs a Transport")
+	}
+	if d.Lo < 0 || d.Hi <= d.Lo || d.Hi > nodes {
+		return fmt.Errorf("core: Dist span [%d,%d) invalid for %d nodes", d.Lo, d.Hi, nodes)
+	}
+	if d.Leader != (d.Lo == 0) {
+		return fmt.Errorf("core: the leader is the process hosting node 0 (span [%d,%d), leader=%v)", d.Lo, d.Hi, d.Leader)
+	}
+	if d.ReportEvery <= 0 {
+		d.ReportEvery = 2 * time.Millisecond
+	}
+	return nil
 }
 
 // DefaultConfig returns a configuration for nodes PEs with the paper's
@@ -194,9 +238,27 @@ func (c *Config) applyDefaults() error {
 	}
 	if c.RetryBase <= 0 {
 		c.RetryBase = 500 * time.Microsecond
+		if c.Dist != nil {
+			// A wire ack pays two socket hops plus both kernels' poll
+			// boundaries; the in-memory default sits below that RTT and
+			// would retransmit almost every packet.  Worse, a budget of
+			// patient-for-230ms can exhaust on a DELIVERED packet whose
+			// acks are merely slow, and escalation then retires units
+			// the receiver also consumed — the cross-process counters go
+			// negative and the run stalls instead of finishing.  Give
+			// sockets laxer timers — acks share one connection per
+			// process pair with bulk traffic, so their tail latency
+			// under load is head-of-line blocking, not loss — for ~5s
+			// of patience per packet, safely past any ack tail yet
+			// still inside the stall watchdog's horizon.
+			c.RetryBase = 20 * time.Millisecond
+		}
 	}
 	if c.RetryMax < c.RetryBase {
 		c.RetryMax = 10 * time.Millisecond
+		if c.Dist != nil {
+			c.RetryMax = 250 * time.Millisecond
+		}
 		if c.RetryMax < c.RetryBase {
 			c.RetryMax = c.RetryBase
 		}
@@ -216,6 +278,17 @@ func (c *Config) applyDefaults() error {
 			c.PaceWindow = 500 * time.Microsecond
 		} else {
 			c.PaceWindow = -1
+		}
+	}
+	if c.Dist != nil {
+		if err := c.Dist.validate(c.Nodes); err != nil {
+			return err
+		}
+		if c.LoadBalance {
+			// Steal grants would need cross-process live-gauge agreement
+			// the per-process gauges cannot give; explicit placement
+			// (NewOn, Migrate) spans processes fine.
+			return fmt.Errorf("core: LoadBalance is not supported on a multi-process machine")
 		}
 	}
 	return nil

@@ -285,12 +285,22 @@ func (c *Context) Migrate(nodeID int) {
 // once the program quiesces.  Use ExitNow to complete without draining.
 func (c *Context) Exit(v any) {
 	c.prog.setResult(v)
+	if d := c.n.m.dist; d != nil && !d.leader {
+		// The result must reach the leader's Wait; it rides every probe
+		// reply until the leader confirms (dist.go), so a lost frame
+		// cannot strand it.
+		d.boxResult(c.prog, v, false)
+	}
 }
 
 // ExitNow completes the current program immediately; its remaining
 // in-flight messages are abandoned.  Prefer Exit.
 func (c *Context) ExitNow(v any) {
 	c.prog.setResult(v)
+	if d := c.n.m.dist; d != nil && !d.leader {
+		d.boxResult(c.prog, v, true)
+		return // completion is the leader's call; it forces done on receipt
+	}
 	c.prog.finishProg()
 }
 

@@ -126,6 +126,15 @@ func (n *node) netSendMsg(dst amnet.NodeID, msg *Message) {
 	if len(msg.Data) > n.m.cfg.SegWords {
 		data := msg.Data
 		msg.Data = nil
+		if n.m.nw.IsRemote(dst) {
+			// The three-phase bulk protocol's grant state is process-local;
+			// across the wire the payload rides the packet's Data section of
+			// ONE sequenced frame instead (the socket's own flow control
+			// replaces the grant protocol), and the receiving handler
+			// reattaches it exactly as the transfer fin would.
+			n.sendCtl(amnet.Packet{Handler: hDeliverMsg, Dst: dst, VT: vt, Payload: msg, Data: data}, msg.prog, 1, 1)
+			return
+		}
 		if n.m.cfg.Flow == amnet.FlowEager {
 			// Without flow control the eager injection stalls this PE
 			// for the whole transfer (Table 1's pathology).

@@ -1,0 +1,487 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sync"
+	"time"
+
+	"hal/internal/amnet"
+)
+
+// The cross-process control plane of a machine spanning several OS
+// processes (Config.Dist).  Kernel packets travel the transport's packet
+// lane and stay on the node kernels' reliable-delivery path; this file is
+// the out-of-band lane: distributed termination detection, result
+// collection, and the shutdown handshake.
+//
+// Termination uses Mattern's four-counter method.  Each process keeps two
+// cumulative counters per program — units created and units consumed
+// (program.go) — and the leader runs probe waves: broadcast dcProbe,
+// collect a dcReport from every worker, fold in its own counters, and
+// compare against the previous wave.  A program is finished when two
+// consecutive, fully separated waves report identical totals with
+// created == consumed > 0: the second wave proves no unit was in flight
+// while the first was taken.  Each process reads consumed BEFORE created,
+// so a unit retiring mid-snapshot skews the sums toward "not yet done",
+// never toward a false finish.
+//
+// Wall-clock use in this file is sanctioned: probe pacing, the stall
+// watchdog, and the shutdown handshake all must keep ticking precisely
+// when virtual time does not (a wedged machine makes no VT progress to
+// observe), mirroring Machine.monitor.
+
+// Control-message kinds.  These ride Transport.SendControl and must stay
+// below the transport's own handshake range (0xF0, sock/transport.go).
+const (
+	dcProbe    uint8 = 1 + iota // leader -> workers: report your counters
+	dcReport                    // worker -> leader: counters + boxed results
+	dcDone                      // leader -> workers: program terminated
+	dcShutdown                  // leader -> workers: machine is going down
+	dcBye                       // worker -> leader: shutdown acknowledged
+)
+
+// probeMsg opens one counter wave.
+type probeMsg struct {
+	Wave uint64
+}
+
+// progCountWire is one program's cumulative counters in one process.
+type progCountWire struct {
+	ID       uint64
+	Created  int64
+	Consumed int64
+}
+
+// resultWire carries a program result (ctx.Exit on a worker) to the
+// leader.  V is the gob-encoded value; Force marks ExitNow.
+type resultWire struct {
+	Prog  uint64
+	V     []byte
+	Force bool
+}
+
+// reportMsg answers a probe.
+type reportMsg struct {
+	Wave    uint64
+	Progs   []progCountWire
+	Results []resultWire
+}
+
+// doneMsg announces (and acknowledges the result of) a finished program.
+type doneMsg struct {
+	Prog uint64
+}
+
+// shutMsg tells workers the machine is shutting down.
+type shutMsg struct {
+	Stalled bool
+	Msg     string
+}
+
+// distState is one process's half of the control plane.
+type distState struct {
+	m      *Machine
+	t      amnet.Transport
+	leader bool
+	procs  int
+	every  time.Duration // probe period (DistConfig.ReportEvery)
+
+	mu        sync.Mutex
+	reports   map[int]reportMsg     // leader: freshest report per worker
+	box       map[uint64]resultWire // worker: results the leader hasn't acked
+	byes      map[int]bool          // leader: shutdown acknowledgments
+	probeSeen time.Time             // worker: last probe arrival
+	lastShut  shutMsg               // leader: what broadcastShutdown sent
+	shutErr   error                 // worker: what the leader reported
+
+	shutOnce  sync.Once
+	shutdownc chan struct{} // worker: closed on dcShutdown (DistWait)
+}
+
+func newDistState(m *Machine, d *DistConfig) *distState {
+	return &distState{
+		m:         m,
+		t:         d.Transport,
+		leader:    d.Leader,
+		procs:     d.Transport.Procs(),
+		every:     d.ReportEvery,
+		reports:   make(map[int]reportMsg),
+		box:       make(map[uint64]resultWire),
+		byes:      make(map[int]bool),
+		shutdownc: make(chan struct{}),
+	}
+}
+
+// run replaces Machine.monitor on a multi-process machine: the per-process
+// live gauge cannot see cross-process work, so quiescence and stalls are
+// the leader's call, and workers watch for the leader going silent.
+func (d *distState) run(stop, done <-chan struct{}) {
+	if d.leader {
+		d.leaderLoop(stop, done)
+		return
+	}
+	d.workerLoop(stop, done)
+}
+
+// isDone reports whether the program already finished.
+func (p *Program) isDone() bool {
+	select {
+	case <-p.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// localCounts snapshots this process's cumulative counters, reading each
+// program's consumed counter BEFORE its created counter: a unit retiring
+// between the two reads inflates created relative to consumed, which can
+// only delay the all-equal verdict, never fake it.
+func (d *distState) localCounts() []progCountWire {
+	tab := d.m.progTab.Load()
+	if tab == nil {
+		return nil
+	}
+	out := make([]progCountWire, 0, len(*tab))
+	for _, p := range *tab {
+		consumed := p.consumed.Load()
+		created := p.created.Load()
+		out = append(out, progCountWire{ID: p.id, Created: created, Consumed: consumed})
+	}
+	return out
+}
+
+// --- leader --------------------------------------------------------------
+
+// leaderLoop drives probe waves until the machine stops.
+//
+//halvet:allowwallclock termination probing and stall detection pace on the host clock — a quiescent or wedged machine makes no VT progress to observe
+func (d *distState) leaderLoop(stop, done <-chan struct{}) {
+	prev := make(map[uint64][2]int64) // prog id -> {created, consumed}
+	lastChange := time.Now()
+	for wave := uint64(1); ; wave++ {
+		reports, ok := d.collectWave(wave, stop, done)
+		if !ok {
+			return
+		}
+
+		// Results first: ctx.Exit boxes the value before the consumed tick
+		// its report carries, so by the time counters balance the result
+		// already rode in (this wave or an earlier one).
+		for _, r := range reports {
+			for _, rw := range r.Results {
+				d.applyResult(rw)
+			}
+		}
+
+		cur := make(map[uint64][2]int64, len(prev))
+		for _, pc := range d.localCounts() {
+			cur[pc.ID] = [2]int64{pc.Created, pc.Consumed}
+		}
+		for _, r := range reports {
+			for _, pc := range r.Progs {
+				t := cur[pc.ID]
+				t[0] += pc.Created
+				t[1] += pc.Consumed
+				cur[pc.ID] = t
+			}
+		}
+
+		changed, anyLive, outstanding := false, false, int64(0)
+		if tab := d.m.progTab.Load(); tab != nil {
+			for _, prog := range *tab {
+				t := cur[prog.id]
+				p, had := prev[prog.id]
+				if !had || p != t {
+					changed = true
+				}
+				if prog.isDone() {
+					continue
+				}
+				if had && p == t && t[0] == t[1] && t[0] > 0 {
+					// Two separated waves, identical balanced counters:
+					// the program is globally quiescent.
+					prog.finishProg()
+					d.t.SendControl(-1, dcDone, ctlEncode(doneMsg{Prog: prog.id}))
+					changed = true
+					continue
+				}
+				anyLive = true
+				outstanding += t[0] - t[1]
+			}
+		}
+		prev = cur
+		if changed {
+			lastChange = time.Now()
+		}
+		if st := d.m.cfg.StallTimeout; st > 0 && anyLive && time.Since(lastChange) > st {
+			detail := fmt.Sprintf("cross-process counters stable for %v with %d unit(s) outstanding", st, outstanding)
+			err := fmt.Errorf("%w: %s", ErrStalled, detail)
+			if d.m.relExhausted.Load() {
+				err = fmt.Errorf("%w (control-plane retry budget exhausted; see NodeStats.RetryExhausted)", err)
+			}
+			d.broadcastShutdown(true, detail)
+			d.m.finish(err)
+			return
+		}
+
+		select {
+		case <-stop:
+			return
+		case <-done:
+			return
+		case <-time.After(d.every):
+		}
+	}
+}
+
+// collectWave broadcasts a probe and blocks until every worker has
+// answered for this wave.  Probes and reports can be lost when a
+// connection dies mid-frame, so the probe is re-broadcast periodically;
+// workers answer every copy (reports are idempotent snapshots).
+//
+//halvet:allowwallclock probe retransmission and the worker-silence deadline pace on the host clock — lost control frames leave no VT signal
+func (d *distState) collectWave(wave uint64, stop, done <-chan struct{}) ([]reportMsg, bool) {
+	probe := ctlEncode(probeMsg{Wave: wave})
+	d.t.SendControl(-1, dcProbe, probe)
+	resent := time.Now()
+	var deadline time.Time
+	if st := d.m.cfg.StallTimeout; st > 0 {
+		deadline = time.Now().Add(2*st + 5*time.Second)
+	}
+	pause := d.every / 4
+	if pause < 100*time.Microsecond {
+		pause = 100 * time.Microsecond
+	}
+	for {
+		got := make([]reportMsg, 0, d.procs-1)
+		d.mu.Lock()
+		for p := 1; p < d.procs; p++ {
+			if r, ok := d.reports[p]; ok && r.Wave == wave {
+				got = append(got, r)
+			}
+		}
+		d.mu.Unlock()
+		if len(got) == d.procs-1 {
+			return got, true
+		}
+		select {
+		case <-stop:
+			return nil, false
+		case <-done:
+			return nil, false
+		case <-time.After(pause):
+		}
+		if time.Since(resent) > 250*time.Millisecond {
+			d.t.SendControl(-1, dcProbe, probe)
+			resent = time.Now()
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			err := fmt.Errorf("core: worker process stopped answering termination probes (wave %d)", wave)
+			d.broadcastShutdown(false, err.Error())
+			d.m.finish(err)
+			return nil, false
+		}
+	}
+}
+
+// applyResult installs a worker's boxed result on the leader.
+func (d *distState) applyResult(rw resultWire) {
+	prog := d.m.progByID(rw.Prog)
+	if prog == nil {
+		return
+	}
+	if prog.isDone() {
+		// Already terminated: the earlier dcDone was lost; re-ack so the
+		// worker stops carrying the box.
+		d.t.SendControl(-1, dcDone, ctlEncode(doneMsg{Prog: rw.Prog}))
+		return
+	}
+	v, err := decodeValue(rw.V)
+	if err != nil {
+		panic(fmt.Sprintf("core: result of program %d does not decode: %v (gob.Register the result type in every process)", rw.Prog, err))
+	}
+	prog.setResult(v)
+	if rw.Force {
+		// ExitNow: complete immediately, without waiting for quiescence.
+		prog.finishProg()
+		d.t.SendControl(-1, dcDone, ctlEncode(doneMsg{Prog: rw.Prog}))
+	}
+}
+
+// broadcastShutdown tells every worker the machine is going down.  The
+// message is remembered so awaitByes can re-broadcast it.
+func (d *distState) broadcastShutdown(stalled bool, msg string) {
+	sm := shutMsg{Stalled: stalled, Msg: msg}
+	d.mu.Lock()
+	d.lastShut = sm
+	d.mu.Unlock()
+	d.t.SendControl(-1, dcShutdown, ctlEncode(sm))
+}
+
+// awaitByes blocks (bounded) until every worker acknowledged the
+// shutdown, re-broadcasting it against control-frame loss.  Workers that
+// already died simply time the wait out.
+//
+//halvet:allowwallclock the shutdown handshake is host-side teardown, after the simulation stopped
+func (d *distState) awaitByes() {
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		d.mu.Lock()
+		n := len(d.byes)
+		sm := d.lastShut
+		d.mu.Unlock()
+		if n >= d.procs-1 || time.Now().After(deadline) {
+			return
+		}
+		d.t.SendControl(-1, dcShutdown, ctlEncode(sm))
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// --- worker --------------------------------------------------------------
+
+// workerLoop watches for the leader's probes going silent (leader process
+// death would otherwise leave workers running forever).
+//
+//halvet:allowwallclock the probe-silence watchdog needs a clock that ticks while the local machine is idle
+func (d *distState) workerLoop(stop, done <-chan struct{}) {
+	st := d.m.cfg.StallTimeout
+	if st <= 0 {
+		// Watchdog disabled, like the local stall monitor.
+		select {
+		case <-stop:
+		case <-done:
+		}
+		return
+	}
+	d.mu.Lock()
+	d.probeSeen = time.Now()
+	d.mu.Unlock()
+	silence := 2*st + 5*time.Second
+	tick := time.NewTicker(st)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-done:
+			return
+		case <-d.shutdownc:
+			return
+		case <-tick.C:
+		}
+		d.mu.Lock()
+		last := d.probeSeen
+		d.mu.Unlock()
+		if time.Since(last) > silence {
+			d.m.finish(fmt.Errorf("core: leader termination probes silent for %v; assuming the leader died", silence))
+			return
+		}
+	}
+}
+
+// boxResult records a worker-side ctx.Exit value for the leader.  The box
+// rides every probe reply until a dcDone acknowledges it, so no single
+// lost frame can strand a result.
+func (d *distState) boxResult(prog *Program, v any, force bool) {
+	b, err := encodeValue(v)
+	if err != nil {
+		panic(fmt.Sprintf("core: program result %T is not wire-encodable: %v (gob.Register it in every process)", v, err))
+	}
+	d.mu.Lock()
+	if old, ok := d.box[prog.id]; ok && old.Force {
+		force = true // an earlier ExitNow wins the completion mode
+	}
+	d.box[prog.id] = resultWire{Prog: prog.id, V: b, Force: force}
+	d.mu.Unlock()
+}
+
+// --- control receiver ----------------------------------------------------
+
+// onCtl is the Transport.OnControl receiver, called on transport reader
+// goroutines (never node kernels, so the blocking SendControl replies are
+// legal here).
+//
+//halvet:allowwallclock stamps probe arrival for the worker's leader-silence watchdog
+func (d *distState) onCtl(peer int, kind uint8, body []byte) {
+	switch kind {
+	case dcProbe:
+		var pm probeMsg
+		if ctlDecode(body, &pm) != nil {
+			return
+		}
+		d.mu.Lock()
+		d.probeSeen = time.Now()
+		results := make([]resultWire, 0, len(d.box))
+		for _, rw := range d.box {
+			results = append(results, rw)
+		}
+		d.mu.Unlock()
+		rep := reportMsg{Wave: pm.Wave, Progs: d.localCounts(), Results: results}
+		d.t.SendControl(peer, dcReport, ctlEncode(rep))
+	case dcReport:
+		var rm reportMsg
+		if ctlDecode(body, &rm) != nil {
+			return
+		}
+		d.mu.Lock()
+		if cur, ok := d.reports[peer]; !ok || rm.Wave >= cur.Wave {
+			d.reports[peer] = rm
+		}
+		d.mu.Unlock()
+	case dcDone:
+		var dm doneMsg
+		if ctlDecode(body, &dm) != nil {
+			return
+		}
+		d.mu.Lock()
+		delete(d.box, dm.Prog)
+		d.mu.Unlock()
+		d.m.progForWire(dm.Prog).finishProg()
+	case dcShutdown:
+		var sm shutMsg
+		if ctlDecode(body, &sm) != nil {
+			return
+		}
+		d.shutOnce.Do(func() {
+			var err error
+			if sm.Stalled {
+				err = fmt.Errorf("%w: %s", ErrStalled, sm.Msg)
+			} else if sm.Msg != "" {
+				err = fmt.Errorf("core: leader shut the machine down: %s", sm.Msg)
+			}
+			d.mu.Lock()
+			d.shutErr = err
+			d.mu.Unlock()
+			close(d.shutdownc)
+		})
+		// Acknowledge every copy: the leader re-broadcasts until all byes
+		// arrive.
+		d.t.SendControl(peer, dcBye, nil)
+	case dcBye:
+		d.mu.Lock()
+		d.byes[peer] = true
+		d.mu.Unlock()
+	}
+}
+
+// --- control-body codec ---------------------------------------------------
+
+// ctlEncode gob-encodes a control body; the types are fixed kernel
+// structs, so failure is a programming error.
+func ctlEncode(v any) []byte {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		panic(fmt.Sprintf("core: control message %T does not encode: %v", v, err))
+	}
+	return buf.Bytes()
+}
+
+// ctlDecode decodes a control body; errors are returned (a corrupt frame
+// from a half-dead peer must not kill the process).
+func ctlDecode(b []byte, v any) error {
+	return gob.NewDecoder(bytes.NewReader(b)).Decode(v)
+}

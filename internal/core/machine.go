@@ -24,6 +24,15 @@ type Machine struct {
 	cfg   Config
 	nw    *amnet.Network
 	nodes []*node
+	// local is the slice of nodes whose kernel goroutines run in THIS
+	// process: all of them single-process, the Dist span otherwise.
+	// Every process of a multi-process machine allocates all P node
+	// structs (ids, arenas, and handler tables are global), but only the
+	// local span executes.
+	local []*node
+	// dist is the cross-process control plane (dist.go), nil for a
+	// single-process machine.
+	dist *distState
 
 	types      []typeEntry
 	typeByName map[string]TypeID
@@ -94,14 +103,18 @@ func NewMachine(cfg Config) (*Machine, error) {
 		return nil, err
 	}
 	// One endpoint per PE plus one for the front end (program loading).
-	nw, err := amnet.NewNetwork(amnet.Config{
+	ncfg := amnet.Config{
 		Nodes:    cfg.Nodes + 1,
 		InboxCap: cfg.InboxCap,
 		Flow:     cfg.Flow,
 		SegWords: cfg.SegWords,
 		BatchMax: cfg.BatchMax,
 		Faults:   cfg.Faults,
-	})
+	}
+	if cfg.Dist != nil {
+		ncfg.Remote = cfg.Dist.Transport
+	}
+	nw, err := amnet.NewNetwork(ncfg)
 	if err != nil {
 		return nil, err
 	}
@@ -121,6 +134,17 @@ func NewMachine(cfg Config) (*Machine, error) {
 		m.nodes[i] = newNode(m, amnet.NodeID(i))
 	}
 	m.frontEP = nw.Endpoint(amnet.NodeID(cfg.Nodes))
+	m.local = m.nodes
+	if cfg.Dist != nil {
+		m.local = m.nodes[cfg.Dist.Lo:cfg.Dist.Hi]
+		m.dist = newDistState(m, cfg.Dist)
+		// A dropped connection loses in-flight frames; the reliable layer
+		// (sequencing, acks, retries) makes that just another fault event
+		// even with no FaultPlan injecting any.
+		m.relOn = true
+		cfg.Dist.Transport.SetPayloadCodec(&payloadCodec{m: m})
+		cfg.Dist.Transport.OnControl(m.dist.onCtl)
+	}
 	registerKernelHandlers(m)
 	if cfg.Faults != nil {
 		m.relOn = true

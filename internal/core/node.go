@@ -271,7 +271,7 @@ func (n *node) idle() {
 // sends and exit too; it then purges abandoned work so a later Start
 // begins clean.
 func (n *node) drainAndExit() {
-	total := int32(len(n.m.nodes))
+	total := int32(len(n.m.local))
 	n.m.draining.Add(1)
 	for n.m.draining.Load() < total {
 		for n.ep.PollDiscard() {

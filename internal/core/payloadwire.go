@@ -1,0 +1,363 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"hal/internal/amnet"
+	"hal/internal/names"
+)
+
+// The payload codec for a machine spanning several OS processes.  The
+// frame codec (amnet/sock) moves Packet's fixed words bit-exactly; boxed
+// payloads — the pointer-rich runtime-protocol bodies that move by
+// reference inside one process — are this file's problem.  Each payload
+// kind gets a flat mirror struct with exported fields (gob sees only
+// those), a one-byte kind tag, and explicit conversions that rebuild the
+// kernel's unexported state on the receiving side.  Program pointers
+// cross as leader-assigned ids, materialized on demand (progForWire);
+// user-level values (message Args, reply values, migrating behaviors)
+// cross via gob's interface mechanism, so applications register their
+// concrete types with gob.Register in every process — the same way they
+// register behavior types with RegisterType.
+//
+// progLaunch deliberately has no wire form: its body is a Go closure.
+// Programs load on the leader, whose node 0 serves hLoadProgram locally;
+// a launch packet reaching the codec is a kernel bug, reported loudly.
+
+func init() {
+	// The kernel types that legally appear inside user-visible interface
+	// slots (message Args, reply values).  Scalars are pre-registered by
+	// package gob itself.
+	gob.Register(names.Addr{})
+	gob.Register(Group{})
+	gob.Register(ReplyTo{})
+	gob.Register(Selector(0))
+	gob.Register(TypeID(0))
+}
+
+// Payload kind tags (first byte of every encoded payload).
+const (
+	wtMsg byte = 1 + iota
+	wtSpawn
+	wtFIR
+	wtMig
+	wtGroup
+	wtBcast
+	wtReply
+)
+
+// payloadCodec implements amnet.PayloadCodec for one machine process.
+type payloadCodec struct {
+	m *Machine
+}
+
+var _ amnet.PayloadCodec = (*payloadCodec)(nil)
+
+// wireMsg mirrors Message, unexported delivery state included: a message
+// forwarded across processes must keep its origin/cache bookkeeping or
+// the receiving name server would repair the wrong caches.
+type wireMsg struct {
+	To       Addr
+	Sel      Selector
+	Args     []any
+	Data     []float64
+	Reply    ReplyTo
+	Origin   amnet.NodeID
+	OriginLD uint64
+	DstSeq   uint64
+	Routed   bool
+	Shared   bool
+	VT       float64
+	Prog     uint64
+}
+
+// wireSpawn mirrors spawnRecord.
+type wireSpawn struct {
+	Alias Addr
+	Typ   TypeID
+	Args  []any
+	VT    float64
+	Prog  uint64
+}
+
+// wireFIR mirrors firReq (the boxed long-path fallback; short paths ride
+// packet words and never reach the codec).
+type wireFIR struct {
+	Addr Addr
+	Path []amnet.NodeID
+}
+
+// wireMig mirrors migBundle.  Behavior crosses as a gob interface value:
+// migrating behavior types must be gob.Registered in every process.
+type wireMig struct {
+	Addr     Addr
+	Alias    Addr
+	Behavior Behavior
+	Msgs     []wireMsg
+	Pending  []wireMsg
+	Prog     uint64
+}
+
+// wireGroupCreate mirrors groupCreate.
+type wireGroupCreate struct {
+	G    Group
+	Typ  TypeID
+	Args []any
+	Prog uint64
+}
+
+// wireBcast mirrors bcastWork.
+type wireBcast struct {
+	G    Group
+	Root amnet.NodeID
+	Msg  wireMsg
+}
+
+// wireReply mirrors replyEnvelope (the boxed fallback; scalar replies
+// ride packet words).
+type wireReply struct {
+	V    any
+	Prog uint64
+}
+
+func progID(p *Program) uint64 {
+	if p == nil {
+		return 0
+	}
+	return p.id
+}
+
+// progForWire resolves a leader-assigned program id in this process,
+// materializing placeholder Programs for ids not seen before.  The leader
+// allocates ids densely from 1 and is the only process that launches, so
+// materializing id n fills every id <= n and later ids stay aligned.
+func (m *Machine) progForWire(id uint64) *Program {
+	if id == 0 {
+		return nil
+	}
+	if p := m.progByID(id); p != nil {
+		return p
+	}
+	m.launchMu.Lock()
+	defer m.launchMu.Unlock()
+	for {
+		if p := m.progByID(id); p != nil {
+			return p
+		}
+		m.registerProg(&Program{id: m.progSeq.Add(1), m: m, done: make(chan struct{})})
+	}
+}
+
+func toWireMsg(msg *Message) wireMsg {
+	return wireMsg{
+		To:       msg.To,
+		Sel:      msg.Sel,
+		Args:     msg.Args,
+		Data:     msg.Data,
+		Reply:    msg.Reply,
+		Origin:   msg.origin,
+		OriginLD: msg.originLD,
+		DstSeq:   msg.dstSeq,
+		Routed:   msg.routed,
+		Shared:   msg.shared,
+		VT:       msg.vt,
+		Prog:     progID(msg.prog),
+	}
+}
+
+func (m *Machine) fromWireMsg(w wireMsg) *Message {
+	return &Message{
+		To:       w.To,
+		Sel:      w.Sel,
+		Args:     w.Args,
+		Data:     w.Data,
+		Reply:    w.Reply,
+		origin:   w.Origin,
+		originLD: w.OriginLD,
+		dstSeq:   w.DstSeq,
+		routed:   w.Routed,
+		shared:   w.Shared,
+		vt:       w.VT,
+		prog:     m.progForWire(w.Prog),
+	}
+}
+
+func toWireMsgs(msgs []*Message) []wireMsg {
+	if msgs == nil {
+		return nil
+	}
+	out := make([]wireMsg, len(msgs))
+	for i, msg := range msgs {
+		out[i] = toWireMsg(msg)
+	}
+	return out
+}
+
+func (m *Machine) fromWireMsgs(ws []wireMsg) []*Message {
+	if ws == nil {
+		return nil
+	}
+	out := make([]*Message, len(ws))
+	for i := range ws {
+		out[i] = m.fromWireMsg(ws[i])
+	}
+	return out
+}
+
+// EncodePayload flattens a boxed kernel payload into tag + gob bytes.
+func (c *payloadCodec) EncodePayload(p *amnet.Packet) ([]byte, error) {
+	var tag byte
+	var body any
+	switch v := p.Payload.(type) {
+	case *Message:
+		tag, body = wtMsg, toWireMsg(v)
+	case *spawnRecord:
+		tag, body = wtSpawn, wireSpawn{Alias: v.alias, Typ: v.typ, Args: v.args, VT: v.vt, Prog: progID(v.prog)}
+	case firReq:
+		tag, body = wtFIR, wireFIR{Addr: v.addr, Path: v.path}
+	case *migBundle:
+		tag, body = wtMig, wireMig{
+			Addr: v.addr, Alias: v.alias, Behavior: v.behavior,
+			Msgs: toWireMsgs(v.msgs), Pending: toWireMsgs(v.pending),
+			Prog: progID(v.prog),
+		}
+	case groupCreate:
+		tag, body = wtGroup, wireGroupCreate{G: v.g, Typ: v.typ, Args: v.args, Prog: progID(v.prog)}
+	case *bcastWork:
+		tag, body = wtBcast, wireBcast{G: v.g, Root: v.root, Msg: toWireMsg(v.msg)}
+	case replyEnvelope:
+		tag, body = wtReply, wireReply{V: v.v, Prog: progID(v.prog)}
+	case progLaunch:
+		return nil, fmt.Errorf("core: program loads never cross the wire (hLoadProgram is leader-local)")
+	default:
+		return nil, fmt.Errorf("core: handler %d payload %T has no wire form", p.Handler, p.Payload)
+	}
+	var buf bytes.Buffer
+	buf.WriteByte(tag)
+	if err := gob.NewEncoder(&buf).Encode(body); err != nil {
+		return nil, fmt.Errorf("core: payload %T does not encode: %w (gob.Register user types in every process)", p.Payload, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodePayload rebuilds the payload value the receiving handler type-
+// asserts on (handlers.go): pointer kinds come back as pointers, value
+// kinds as values.
+func (c *payloadCodec) DecodePayload(b []byte) (any, error) {
+	if len(b) == 0 {
+		return nil, fmt.Errorf("core: empty payload body")
+	}
+	dec := gob.NewDecoder(bytes.NewReader(b[1:]))
+	switch b[0] {
+	case wtMsg:
+		var w wireMsg
+		if err := dec.Decode(&w); err != nil {
+			return nil, err
+		}
+		return c.m.fromWireMsg(w), nil
+	case wtSpawn:
+		var w wireSpawn
+		if err := dec.Decode(&w); err != nil {
+			return nil, err
+		}
+		return &spawnRecord{alias: w.Alias, typ: w.Typ, args: w.Args, vt: w.VT, prog: c.m.progForWire(w.Prog)}, nil
+	case wtFIR:
+		var w wireFIR
+		if err := dec.Decode(&w); err != nil {
+			return nil, err
+		}
+		return firReq{addr: w.Addr, path: w.Path}, nil
+	case wtMig:
+		var w wireMig
+		if err := dec.Decode(&w); err != nil {
+			return nil, err
+		}
+		return &migBundle{
+			addr: w.Addr, alias: w.Alias, behavior: w.Behavior,
+			msgs: c.m.fromWireMsgs(w.Msgs), pending: c.m.fromWireMsgs(w.Pending),
+			prog: c.m.progForWire(w.Prog),
+		}, nil
+	case wtGroup:
+		var w wireGroupCreate
+		if err := dec.Decode(&w); err != nil {
+			return nil, err
+		}
+		return groupCreate{g: w.G, typ: w.Typ, args: w.Args, prog: c.m.progForWire(w.Prog)}, nil
+	case wtBcast:
+		var w wireBcast
+		if err := dec.Decode(&w); err != nil {
+			return nil, err
+		}
+		msg := c.m.fromWireMsg(w.Msg)
+		msg.shared = true
+		return &bcastWork{g: w.G, root: w.Root, msg: msg}, nil
+	case wtReply:
+		var w wireReply
+		if err := dec.Decode(&w); err != nil {
+			return nil, err
+		}
+		return replyEnvelope{v: w.V, prog: c.m.progForWire(w.Prog)}, nil
+	default:
+		return nil, fmt.Errorf("core: unknown payload kind %d", b[0])
+	}
+}
+
+// --- Group wire form -----------------------------------------------------
+
+// groupWire is Group's gob image; slot0 is load-bearing (Member computes
+// alias addresses from it) and must survive the trip.
+type groupWire struct {
+	ID    uint64
+	N     int
+	Birth amnet.NodeID
+	Base  amnet.NodeID
+	Nodes int
+	Slot0 uint64
+}
+
+// GobEncode serializes the handle including its unexported alias base, so
+// Group values inside Args, behaviors, and results stay usable across
+// processes.
+func (g Group) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(groupWire{
+		ID: g.ID, N: g.N, Birth: g.Birth, Base: g.Base, Nodes: g.Nodes, Slot0: g.slot0,
+	})
+	return buf.Bytes(), err
+}
+
+// GobDecode is GobEncode's inverse.
+func (g *Group) GobDecode(b []byte) error {
+	var w groupWire
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&w); err != nil {
+		return err
+	}
+	*g = Group{ID: w.ID, N: w.N, Birth: w.Birth, Base: w.Base, Nodes: w.Nodes, slot0: w.Slot0}
+	return nil
+}
+
+// --- boxed program results (dist.go) -------------------------------------
+
+// valueBox wraps an arbitrary value so gob's interface mechanism (with
+// its concrete-type registry) carries it.
+type valueBox struct {
+	V any
+}
+
+func encodeValue(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(valueBox{V: v}); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeValue(b []byte) (any, error) {
+	var box valueBox
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&box); err != nil {
+		return nil, err
+	}
+	return box.V, nil
+}

@@ -33,6 +33,14 @@ type Program struct {
 	result any
 	done   chan struct{}
 	once   sync.Once
+
+	// created/consumed are cumulative work counters maintained only on a
+	// multi-process machine: the per-process live gauge cannot cross zero
+	// meaningfully when units are created in one process and retired in
+	// another, so the leader detects global quiescence from these
+	// monotone counters instead (Mattern's four-counter method, dist.go).
+	created  atomic.Int64
+	consumed atomic.Int64
 }
 
 // finishProg marks the program complete (idempotent).
@@ -82,15 +90,23 @@ func (p *Program) Wait() (any, error) {
 func (m *Machine) incLiveAt(shard int, prog *Program, n int64) {
 	m.live.add(shard, n)
 	prog.live.Add(n)
+	if m.dist != nil {
+		prog.created.Add(n)
+	}
 }
 
 // decLiveProgAt retires one unit; the decrement draining a program's
 // count completes that program.  prog.live stays one exact shared atomic
 // — per-program quiescence needs a precise zero crossing — while the
-// machine gauge uses the caller's shard.
+// machine gauge uses the caller's shard.  On a multi-process machine the
+// local zero crossing means nothing (units retire in other processes
+// too), so completion is the leader's call alone (dist.go).
 func (m *Machine) decLiveProgAt(shard int, prog *Program) {
-	if prog.live.Add(-1) == 0 {
+	if prog.live.Add(-1) == 0 && m.dist == nil {
 		prog.setDoneResult()
+	}
+	if m.dist != nil {
+		prog.consumed.Add(1)
 	}
 	m.live.add(shard, -1)
 }
@@ -135,14 +151,28 @@ func (m *Machine) Start() error {
 	}
 	m.pace.reset()
 
+	if m.dist != nil {
+		if err := m.nw.StartTransport(); err != nil {
+			m.running.Store(false)
+			return err
+		}
+	}
 	m.monDone = make(chan struct{})
 	m.monExited = make(chan struct{})
 	go func() {
 		defer close(m.monExited)
+		if m.dist != nil {
+			// The per-process live gauge cannot see cross-process work,
+			// so the dist control plane replaces the local stall monitor:
+			// the leader detects global quiescence and stalls, followers
+			// watch for the leader's probes going silent.
+			m.dist.run(m.stop, m.monDone)
+			return
+		}
 		m.monitor(m.stop, m.monDone)
 	}()
-	m.wg.Add(len(m.nodes))
-	for _, n := range m.nodes {
+	m.wg.Add(len(m.local))
+	for _, n := range m.local {
 		go n.run()
 	}
 	return nil
@@ -154,6 +184,9 @@ func (m *Machine) Start() error {
 func (m *Machine) Launch(root func(ctx *Context)) (*Program, error) {
 	if !m.running.Load() {
 		return nil, fmt.Errorf("core: Launch before Start")
+	}
+	if m.dist != nil && !m.dist.leader {
+		return nil, fmt.Errorf("core: only the leader process loads programs")
 	}
 	// The front end injects the load through its own endpoint; node 0's
 	// kernel instantiates the root actor (program loading is node-manager
@@ -174,16 +207,55 @@ func (m *Machine) Launch(root func(ctx *Context)) (*Program, error) {
 }
 
 // Shutdown stops the node kernels.  In-flight work of still-running
-// programs is abandoned (their Wait returns an error).
+// programs is abandoned (their Wait returns an error).  On a
+// multi-process machine the leader's Shutdown also tells every worker to
+// shut down (and waits, bounded, for their acknowledgments); a worker's
+// Shutdown is local.
 func (m *Machine) Shutdown() {
 	if !m.running.Load() {
 		return
 	}
+	if m.dist != nil && m.dist.leader {
+		m.dist.broadcastShutdown(false, "")
+	}
 	m.finish(nil)
+	if m.dist != nil {
+		// Our node goroutines stop draining rings now; inbound wire
+		// packets must discard, or a peer's transport reader blocks in
+		// Inject forever and wedges that process's shutdown too.
+		m.nw.SetInjectDiscard(true)
+	}
 	m.wg.Wait()
 	close(m.monDone)
 	<-m.monExited
+	if m.dist != nil && m.dist.leader {
+		m.dist.awaitByes()
+	}
 	m.running.Store(false)
+}
+
+// DistWait blocks a worker process until the leader announces shutdown
+// (or the local machine fails), returning the error the leader reported,
+// if any.  It is a no-op returning nil on the leader or a single-process
+// machine.  The caller still owns Shutdown and the transport's Close.
+func (m *Machine) DistWait() error {
+	if m.dist == nil || m.dist.leader {
+		return nil
+	}
+	select {
+	case <-m.dist.shutdownc:
+	case <-m.stop:
+	}
+	m.dist.mu.Lock()
+	err := m.dist.shutErr
+	m.dist.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	m.mu.Lock()
+	err = m.failed
+	m.mu.Unlock()
+	return err
 }
 
 // handleLoadProgram instantiates a program's root actor (on node 0).

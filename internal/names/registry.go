@@ -1,0 +1,129 @@
+package names
+
+import (
+	"fmt"
+	"sort"
+
+	"hal/internal/amnet"
+)
+
+// Registry is the cross-process half of the name service: it maps node
+// ids to the OS process hosting their kernel goroutine, for a machine
+// that spans several processes (amnet's Transport seam).  The per-node
+// Table/Arena pair keeps resolving addresses to descriptors exactly as
+// before — a registry only answers the one question those structures
+// cannot: "which process do I frame this packet for?".
+//
+// The mapping is immutable after construction (spans are fixed at
+// machine boot by the leader's handshake), so lookups are lock-free and
+// safe from any goroutine.
+type Registry struct {
+	spans []Span
+	last  int // index of the span with the highest Hi, the leader's tail
+}
+
+// Span assigns the node id range [Lo, Hi) to process Proc.
+type Span struct {
+	Proc int
+	Lo   amnet.NodeID
+	Hi   amnet.NodeID
+}
+
+// NewRegistry validates that spans cover a contiguous range starting at
+// node 0 with no gaps or overlaps, and returns the registry.  Ids at or
+// past the covered range (the front-end endpoint, which lives outside
+// the node id space) resolve to process 0, the leader.
+func NewRegistry(spans []Span) (*Registry, error) {
+	if len(spans) == 0 {
+		return nil, fmt.Errorf("names: registry needs at least one span")
+	}
+	s := make([]Span, len(spans))
+	copy(s, spans)
+	sort.Slice(s, func(i, j int) bool { return s[i].Lo < s[j].Lo })
+	want := amnet.NodeID(0)
+	for i, sp := range s {
+		if sp.Lo >= sp.Hi {
+			return nil, fmt.Errorf("names: empty span [%d,%d) for proc %d", sp.Lo, sp.Hi, sp.Proc)
+		}
+		if sp.Lo != want {
+			return nil, fmt.Errorf("names: span gap or overlap at node %d (span %d starts at %d)", want, i, sp.Lo)
+		}
+		if sp.Proc < 0 {
+			return nil, fmt.Errorf("names: negative proc %d", sp.Proc)
+		}
+		want = sp.Hi
+	}
+	return &Registry{spans: s, last: len(s) - 1}, nil
+}
+
+// Owner returns the process hosting node id.  Ids past the covered
+// range (the front end) belong to the leader, process 0.
+func (r *Registry) Owner(id amnet.NodeID) int {
+	// Spans are few (one per process); a linear scan beats binary search
+	// at realistic process counts and stays branch-predictable.
+	for i := range r.spans {
+		if id < r.spans[i].Hi {
+			if id >= r.spans[i].Lo {
+				return r.spans[i].Proc
+			}
+			break
+		}
+	}
+	if id >= r.spans[r.last].Hi {
+		return 0
+	}
+	return 0
+}
+
+// Resident reports whether node id's kernel runs in process proc.
+func (r *Registry) Resident(id amnet.NodeID, proc int) bool {
+	return r.Owner(id) == proc
+}
+
+// SpanOf returns the node range [lo, hi) owned by proc, or (0, 0) if
+// proc owns none.
+func (r *Registry) SpanOf(proc int) (lo, hi amnet.NodeID) {
+	for _, sp := range r.spans {
+		if sp.Proc == proc {
+			return sp.Lo, sp.Hi
+		}
+	}
+	return 0, 0
+}
+
+// Procs returns the number of distinct processes in the registry.
+func (r *Registry) Procs() int {
+	seen := map[int]bool{}
+	for _, sp := range r.spans {
+		seen[sp.Proc] = true
+	}
+	return len(seen)
+}
+
+// Spans returns a copy of the span table, sorted by Lo.
+func (r *Registry) Spans() []Span {
+	out := make([]Span, len(r.spans))
+	copy(out, r.spans)
+	return out
+}
+
+// SplitSpans divides nodes evenly across procs processes, remainder to
+// the earlier processes, and is the single place the leader and every
+// worker compute the machine's layout from.
+func SplitSpans(nodes, procs int) []Span {
+	if procs < 1 {
+		procs = 1
+	}
+	if procs > nodes {
+		procs = nodes
+	}
+	spans := make([]Span, procs)
+	for p := 0; p < procs; p++ {
+		spans[p] = Span{
+			Proc: p,
+			Lo:   amnet.NodeID(p * nodes / procs),
+			Hi:   amnet.NodeID((p + 1) * nodes / procs),
+		}
+	}
+	return spans
+}
